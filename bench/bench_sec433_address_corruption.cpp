@@ -1,0 +1,134 @@
+// Reproduces §4.3.3, physical address corruption, including Fig. 11's
+// before/after network maps:
+//
+//   destination corruption -> dropped by "the incorrect CRC-8";
+//   sender's address corruption -> "unreachable to all Ethernet-based
+//     network traffic" while mapping stays intact;
+//   address corrupted to the controller's -> "the routing table to become
+//     badly corrupted... each subsequent mapping attempt resulted in a
+//     similarly damaged map";
+//   address corrupted to a non-existent one -> "analogous to removing a
+//     computer and replacing it with another".
+#include <cstdio>
+
+#include "host/ping.hpp"
+#include "host/traffic.hpp"
+#include "myrinet/mmon.hpp"
+#include "nftape/faults.hpp"
+#include "nftape/report.hpp"
+#include "nftape/testbed.hpp"
+
+using namespace hsfi;
+
+int main() {
+  nftape::TestbedConfig config;
+  config.map_period = sim::milliseconds(100);
+  config.nic_config.rx_processing_time = sim::microseconds(2);
+  nftape::Testbed bed(config);
+  bed.start();
+  bed.settle(sim::milliseconds(150));
+  nftape::Report report("Physical address corruption (paper 4.3.3)");
+  report.set_header({"experiment", "observed", "paper"});
+
+  // ---- Destination corruption ----------------------------------------
+  {
+    bed.reset_to_known_good();
+    bed.injector().apply(core::Direction::kLeftToRight,
+                         nftape::destination_eth_corruption(0x02, 0x03));
+    host::UdpSink at1(bed.host(1), 9);
+    host::UdpSink at2(bed.host(2), 9);
+    host::UdpFlood::Config fc;
+    fc.target = 2;
+    fc.interval = sim::microseconds(100);
+    fc.max_packets = 100;
+    host::UdpFlood flood(bed.sim(), bed.host(0), fc);
+    flood.start();
+    bed.settle(sim::milliseconds(40));
+    core::InjectorConfig off;
+    bed.injector().apply(core::Direction::kLeftToRight, off);
+    report.add_row(
+        {"destination addr -> another node's (no CRC repair)",
+         nftape::cell("intended got %llu, other got %llu, CRC-8 drops %llu",
+                      (unsigned long long)at1.received(),
+                      (unsigned long long)at2.received(),
+                      (unsigned long long)bed.nic(1).stats().crc_errors),
+         "dropped, received by neither: \"the incorrect CRC-8\""});
+  }
+
+  // ---- Sender's address corruption ------------------------------------
+  {
+    bed.reset_to_known_good();
+    bed.settle(sim::milliseconds(120));
+    bed.host(1).enable_echo();
+    bed.injector().apply(core::Direction::kLeftToRight,
+                         nftape::sender_eth_corruption(0x01, 2, 1, 0x03));
+    host::Pinger::Config pc;
+    pc.target = 2;
+    pc.max_packets = 30;
+    pc.timeout = sim::milliseconds(2);
+    host::Pinger ping(bed.sim(), bed.host(0), pc);
+    ping.start();
+    bed.settle(sim::milliseconds(200));
+    core::InjectorConfig off;
+    bed.injector().apply(core::Direction::kLeftToRight, off);
+    report.add_row(
+        {"node 0's source addr -> node 2's (CRC repaired)",
+         nftape::cell("echo replies %llu/30; misaddressed drops at node 2: "
+                      "%llu; map intact (%zu nodes)",
+                      (unsigned long long)ping.results().received,
+                      (unsigned long long)bed.host(2).stats().drop_misaddressed,
+                      bed.host(2).mcp().network_map().size()),
+         "unreachable to Ethernet traffic; mapping unchanged"});
+  }
+
+  // ---- Address corrupted to the controller's (Fig. 11) ----------------
+  {
+    bed.reset_to_known_good();
+    bed.settle(sim::milliseconds(150));
+    std::printf("=== Fig. 11, before: network map in the normal state ===\n%s\n",
+                myrinet::render_map(bed.host(2).mcp().network_map()).c_str());
+    bed.injector().apply(core::Direction::kLeftToRight,
+                         nftape::mcp_reply_address_corruption(0x20, 0x00, 0x20));
+    for (int attempt = 1; attempt <= 3; ++attempt) {
+      bed.settle(sim::milliseconds(100));
+      std::printf("=== Fig. 11, after: damaged map, attempt %d ===\n%s\n",
+                  attempt,
+                  myrinet::render_map(bed.host(2).mcp().network_map()).c_str());
+    }
+    const auto confused = bed.host(2).mcp().stats().confused_rounds;
+    core::InjectorConfig off;
+    bed.injector().apply(core::Direction::kLeftToRight, off);
+    bed.settle(sim::milliseconds(150));
+    report.add_row(
+        {"node 0's MCP addr -> controller's 0x2020",
+         nftape::cell("%llu confused mapping rounds, map damaged "
+                      "differently each attempt (printed above); consistent "
+                      "again after removal (%zu nodes)",
+                      (unsigned long long)confused,
+                      bed.host(2).mcp().network_map().size()),
+         "badly corrupted routing table; \"not static... similarly damaged\""});
+  }
+
+  // ---- Address corrupted to a non-existent one ------------------------
+  {
+    bed.reset_to_known_good();
+    bed.settle(sim::milliseconds(120));
+    bed.injector().apply(core::Direction::kLeftToRight,
+                         nftape::mcp_reply_address_corruption(0x20, 0x00, 0x99));
+    bed.settle(sim::milliseconds(150));
+    const auto& map = bed.host(2).mcp().network_map();
+    char observed[160];
+    std::snprintf(observed, sizeof observed,
+                  "map still has %zu entries; port 0 now claims MCP 0x2099 "
+                  "(\"machine swapped\"); old identity gone",
+                  map.size());
+    core::InjectorConfig off;
+    bed.injector().apply(core::Direction::kLeftToRight, off);
+    bed.settle(sim::milliseconds(150));
+    report.add_row({"node 0's MCP addr -> non-existent 0x2099", observed,
+                    "routing table updated; like replacing the computer"});
+  }
+
+  std::printf("%s", report.render().c_str());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// SEU-rate sweep (paper §3.1: "Random faults causing bit flip errors for
+// system availability and fault tolerance characterization under SEU
+// conditions").
+//
+// The injector's LFSR trigger thins an all-match compare to a configurable
+// random rate; each rate runs a full campaign. Expected shape: message
+// loss grows with the upset rate, and essentially every surviving upset is
+// caught by the link CRC-8 (raw bit flips are exactly what it protects
+// against) — the network fails silent, never dirty, matching the paper's
+// "passive faults" conclusion in §4.4.
+#include <cstdio>
+
+#include "nftape/campaign.hpp"
+#include "nftape/faults.hpp"
+#include "nftape/report.hpp"
+#include "nftape/testbed.hpp"
+
+using namespace hsfi;
+
+int main() {
+  nftape::TestbedConfig config;
+  config.map_period = sim::milliseconds(100);
+  config.nic_config.rx_processing_time = sim::microseconds(1);
+  config.send_stack_time = sim::microseconds(1);
+  nftape::Testbed bed(config);
+  bed.start();
+  bed.settle(sim::milliseconds(150));
+  nftape::CampaignRunner runner(bed);
+
+  nftape::Report report("Random SEU injection sweep (paper 3.1 fault model)");
+  report.set_header({"LFSR mask", "~flip rate", "injections", "sent",
+                     "received", "loss", "CRC-8 drops", "delivered dirty"});
+
+  const struct {
+    std::uint16_t mask;
+    const char* rate;
+  } points[] = {
+      {0x3FFF, "1/16384 chars"}, {0x0FFF, "1/4096 chars"},
+      {0x03FF, "1/1024 chars"},  {0x00FF, "1/256 chars"},
+      {0x003F, "1/64 chars"},
+  };
+
+  for (const auto& point : points) {
+    nftape::CampaignSpec spec;
+    spec.name = nftape::cell("seu-%04X", point.mask);
+    spec.fault_to_switch = nftape::random_bit_flip_seu(point.mask);
+    spec.fault_from_switch = spec.fault_to_switch;
+    spec.warmup = sim::milliseconds(10);
+    spec.duration = sim::milliseconds(150);
+    spec.drain = sim::milliseconds(10);
+    spec.workload.udp_interval = sim::microseconds(20);
+    spec.workload.payload_size = 128;
+    std::printf("running %s...\n", spec.name.c_str());
+    const auto r = runner.run(spec);
+    // "Dirty" deliveries would be upsets that slipped past every check —
+    // corrupted payload handed to the application. The checksum layers
+    // make these effectively impossible; anything not accounted to a
+    // detector below is ordinary loss, not dirt, but we report the bound.
+    const std::uint64_t detected = r.link_crc_errors + r.udp_checksum_drops +
+                                   r.marker_errors + r.unknown_type_drops;
+    report.add_row({nftape::cell("0x%04X", point.mask), point.rate,
+                    nftape::cell("%llu", (unsigned long long)r.injections),
+                    nftape::cell("%llu", (unsigned long long)r.messages_sent),
+                    nftape::cell("%llu", (unsigned long long)r.messages_received),
+                    nftape::cell("%.2f%%", 100.0 * r.loss_rate()),
+                    nftape::cell("%llu", (unsigned long long)r.link_crc_errors),
+                    detected >= r.injections
+                        ? "0 (all detected)"
+                        : nftape::cell("<= %llu",
+                                       (unsigned long long)(r.injections -
+                                                            detected))});
+  }
+  report.add_note("all faults observed were passive (paper 4.4): \"Data "
+                  "were dropped and lost, but not incorrectly passed on\"");
+  std::printf("\n%s", report.render().c_str());
+  return 0;
+}

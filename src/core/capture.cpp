@@ -1,0 +1,46 @@
+#include "core/capture.hpp"
+
+#include "sim/time.hpp"
+
+namespace hsfi::core {
+
+void CaptureBuffer::feed(link::Symbol s, sim::SimTime when) {
+  (void)when;
+  if (open_) {
+    pending_.after.push_back(s);
+    if (pending_.after.size() >= params_.post_context) {
+      if (events_.size() < params_.max_events) {
+        events_.push_back(std::move(pending_));
+      }
+      pending_ = Event{};
+      open_ = false;
+    }
+  }
+  ring_.push_back(s);
+  while (ring_.size() > params_.pre_context) ring_.pop_front();
+}
+
+void CaptureBuffer::trigger(sim::SimTime when) {
+  if (open_) return;  // still collecting the previous event's context
+  open_ = true;
+  pending_ = Event{};
+  pending_.when = when;
+  pending_.before.assign(ring_.begin(), ring_.end());
+}
+
+std::string CaptureBuffer::render() const {
+  std::string out;
+  for (const auto& e : events_) {
+    out += "event @ ";
+    out += sim::format_time(e.when);
+    out += "\n  before: ";
+    out += link::to_string(e.before);
+    out += "\n  after:  ";
+    out += link::to_string(e.after);
+    out += "\n";
+  }
+  if (events_.empty()) out = "(no capture events)\n";
+  return out;
+}
+
+}  // namespace hsfi::core

@@ -1,0 +1,68 @@
+// Data monitoring: capture of the stream surrounding an injection event.
+//
+// Paper §3.2: "The FPGA can be programmed to keep the bytes surrounding the
+// fault injection event, thus giving the user sufficient dynamic state
+// information about the environment in which the fault injection was
+// performed."
+//
+// The CaptureBuffer keeps a ring of the most recent characters; when an
+// event is triggered it snapshots the pre-context and keeps recording until
+// the post-context is full. Completed events are retained (bounded) for
+// readout over the serial link.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "link/symbol.hpp"
+#include "sim/time.hpp"
+
+namespace hsfi::core {
+
+class CaptureBuffer {
+ public:
+  struct Params {
+    std::size_t pre_context = 16;   ///< characters kept before the event
+    std::size_t post_context = 16;  ///< characters recorded after it
+    std::size_t max_events = 32;    ///< completed events retained
+  };
+
+  struct Event {
+    sim::SimTime when = 0;
+    std::vector<link::Symbol> before;  ///< oldest first, ends at the event
+    std::vector<link::Symbol> after;   ///< the event character onward
+  };
+
+  CaptureBuffer() : CaptureBuffer(Params{}) {}
+  explicit CaptureBuffer(Params params) : params_(params) {}
+
+  /// Feed every character passing the injector (pre-injection view feeds
+  /// `before`; the corrupted character itself starts `after`).
+  void feed(link::Symbol s, sim::SimTime when);
+
+  /// Mark the character fed *next* as an injection event.
+  void trigger(sim::SimTime when);
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  void clear() noexcept {
+    events_.clear();
+    ring_.clear();
+    open_ = false;
+  }
+
+  /// Render all events as text ("CAPT" serial readout).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  Params params_;
+  std::deque<link::Symbol> ring_;
+  std::vector<Event> events_;
+  bool open_ = false;      ///< an event is collecting post-context
+  Event pending_{};
+};
+
+}  // namespace hsfi::core

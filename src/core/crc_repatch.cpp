@@ -1,0 +1,45 @@
+#include "core/crc_repatch.hpp"
+
+#include "myrinet/control.hpp"
+
+namespace hsfi::core {
+
+std::vector<link::Symbol> CrcRepatcher::feed(link::Symbol s, bool enabled) {
+  std::vector<link::Symbol> out;
+  if (!enabled) {
+    // Transparent — but flush any byte held from before the stage was
+    // disabled so nothing is swallowed.
+    if (held_) {
+      out.push_back(link::data_symbol(*held_));
+      held_.reset();
+      body_crc_.reset();
+    }
+    out.push_back(s);
+    return out;
+  }
+
+  if (!s.control) {
+    if (held_) {
+      out.push_back(link::data_symbol(*held_));
+      body_crc_.update(*held_);
+    }
+    held_ = s.data;
+    return out;
+  }
+
+  const auto decoded = myrinet::decode_control(s.data);
+  if (decoded == myrinet::ControlSymbol::kGap) {
+    if (held_) {
+      // The held character is the frame's trailing CRC: replace it with the
+      // CRC of the body as actually emitted.
+      out.push_back(link::data_symbol(body_crc_.value()));
+      ++frames_patched_;
+      held_.reset();
+    }
+    body_crc_.reset();
+  }
+  out.push_back(s);
+  return out;
+}
+
+}  // namespace hsfi::core

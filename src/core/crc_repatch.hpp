@@ -1,0 +1,41 @@
+// CRC repatch stage.
+//
+// Paper §3.2 (real-time triggering): the FPGA can "inject a random fault in
+// the payload while recalculating the correct CRC value to transmit
+// immediately before the end-of-frame (EOF) character", so the receiving
+// interface sees only the intended corruption and no CRC error.
+//
+// The repatcher runs on the post-injection symbol stream. It delays data
+// characters by one position; when the frame-terminating GAP arrives, the
+// held character — the frame's CRC byte — is replaced with the CRC-8
+// recomputed over the (possibly corrupted) frame body actually emitted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "link/symbol.hpp"
+#include "myrinet/crc8.hpp"
+
+namespace hsfi::core {
+
+class CrcRepatcher {
+ public:
+  /// Feeds one character of the post-injection stream; returns 0..2
+  /// characters to emit (two when a GAP flushes the held CRC byte).
+  /// When `enabled` is false the stage is a transparent wire.
+  [[nodiscard]] std::vector<link::Symbol> feed(link::Symbol s, bool enabled);
+
+  /// Frames whose CRC byte was rewritten.
+  [[nodiscard]] std::uint64_t frames_patched() const noexcept {
+    return frames_patched_;
+  }
+
+ private:
+  std::optional<std::uint8_t> held_;
+  myrinet::Crc8 body_crc_;
+  std::uint64_t frames_patched_ = 0;
+};
+
+}  // namespace hsfi::core

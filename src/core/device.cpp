@@ -1,0 +1,153 @@
+#include "core/device.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace hsfi::core {
+
+std::string_view to_string(Direction d) noexcept {
+  switch (d) {
+    case Direction::kLeftToRight: return "L>R";
+    case Direction::kRightToLeft: return "R>L";
+  }
+  return "?";
+}
+
+/// One direction of the device: receives bursts on the ingress segment,
+/// clocks them through the FIFO injector and (optionally) the CRC
+/// repatcher, and retransmits on the egress segment. A drain timer plays
+/// the role of the free-running FPGA clock so residual characters (packet
+/// tails) leave the FIFO when the wire goes idle.
+struct InjectorDevice::Pipeline final : link::SymbolSink {
+  sim::Simulator* simulator = nullptr;
+  sim::Duration character_period = 0;
+  link::Channel* out = nullptr;
+
+  FifoInjector fifo;
+  CrcRepatcher repatch;
+  CaptureBuffer capture;
+  StreamStats stats;
+  sim::EventId drain_event = sim::kInvalidEventId;
+
+  Pipeline(FifoInjector::Params fp, CaptureBuffer::Params cp)
+      : fifo(fp), capture(cp) {}
+
+  void cancel_drain() {
+    if (drain_event != sim::kInvalidEventId) {
+      simulator->cancel(drain_event);
+      drain_event = sim::kInvalidEventId;
+    }
+  }
+
+  void schedule_drain() {
+    if (drain_event != sim::kInvalidEventId || !fifo.pending_payload()) return;
+    drain_event = simulator->schedule_in(character_period, [this] {
+      drain_event = sim::kInvalidEventId;
+      std::vector<link::Symbol> outs;
+      emit(fifo.clock(std::nullopt), simulator->now(), outs);
+      transmit(outs);
+      schedule_drain();
+    });
+  }
+
+  void emit(const FifoInjector::Result& r, sim::SimTime when,
+            std::vector<link::Symbol>& outs) {
+    if (r.injected) capture.trigger(when);
+    if (!r.out) return;
+    // IDLE characters (the free-running clock's filler) are never placed on
+    // the egress channel: our channels model idle wire time implicitly, so
+    // transmitting them would consume serialization capacity that the real
+    // wire's idles do not (they ARE the idle capacity).
+    if (is_idle_character(*r.out)) return;
+    for (const auto s : repatch.feed(*r.out, fifo.config().crc_repatch)) {
+      outs.push_back(s);
+    }
+  }
+
+  void transmit(const std::vector<link::Symbol>& outs) {
+    if (out != nullptr && !outs.empty()) out->transmit(outs);
+  }
+
+  void on_burst(const link::Burst& burst) override {
+    cancel_drain();
+    std::vector<link::Symbol> outs;
+    outs.reserve(burst.symbols.size());
+    for (std::size_t i = 0; i < burst.symbols.size(); ++i) {
+      const auto when = burst.arrival(i);
+      capture.feed(burst.symbols[i], when);
+      stats.feed(burst.symbols[i], when);
+      emit(fifo.clock(burst.symbols[i]), when, outs);
+    }
+    transmit(outs);
+    schedule_drain();
+  }
+};
+
+InjectorDevice::InjectorDevice(sim::Simulator& simulator, std::string name,
+                               Config config)
+    : simulator_(simulator), name_(std::move(name)), config_(config) {
+  for (auto& pipe : pipes_) {
+    pipe = std::make_unique<Pipeline>(config_.fifo, config_.capture);
+    pipe->simulator = &simulator_;
+    pipe->character_period = config_.character_period;
+  }
+}
+
+InjectorDevice::~InjectorDevice() = default;
+
+void InjectorDevice::attach_left(link::Channel& rx, link::Channel& tx) {
+  rx.attach(*pipes_[index(Direction::kLeftToRight)]);
+  pipes_[index(Direction::kRightToLeft)]->out = &tx;
+}
+
+void InjectorDevice::attach_right(link::Channel& rx, link::Channel& tx) {
+  rx.attach(*pipes_[index(Direction::kRightToLeft)]);
+  pipes_[index(Direction::kLeftToRight)]->out = &tx;
+}
+
+void InjectorDevice::apply(Direction d, const InjectorConfig& config) {
+  auto& pipe = *pipes_[index(d)];
+  pipe.fifo.config() = config;
+  pipe.fifo.rearm();
+  if (trace_ && trace_->enabled(sim::LogLevel::kInfo)) {
+    trace_->add(simulator_.now(), sim::LogLevel::kInfo, name_,
+                std::string(to_string(d)) + " configured: " +
+                    describe(config));
+  }
+}
+
+const InjectorConfig& InjectorDevice::config(Direction d) const {
+  return pipes_[index(d)]->fifo.config();
+}
+
+void InjectorDevice::inject_now(Direction d) {
+  pipes_[index(d)]->fifo.inject_now();
+}
+
+void InjectorDevice::rearm(Direction d) { pipes_[index(d)]->fifo.rearm(); }
+
+const FifoInjector::Stats& InjectorDevice::fifo_stats(Direction d) const {
+  return pipes_[index(d)]->fifo.stats();
+}
+
+const CaptureBuffer& InjectorDevice::capture(Direction d) const {
+  return pipes_[index(d)]->capture;
+}
+
+const StreamStats& InjectorDevice::stream_stats(Direction d) const {
+  return pipes_[index(d)]->stats;
+}
+
+std::uint64_t InjectorDevice::frames_crc_patched(Direction d) const {
+  return pipes_[index(d)]->repatch.frames_patched();
+}
+
+void InjectorDevice::clear_stats() {
+  for (auto& pipe : pipes_) {
+    pipe->fifo.clear_stats();
+    pipe->stats.clear();
+    pipe->capture.clear();
+  }
+}
+
+}  // namespace hsfi::core

@@ -1,0 +1,138 @@
+#include "core/fifo_injector.hpp"
+
+#include <cassert>
+
+#include "myrinet/control.hpp"
+
+namespace hsfi::core {
+
+FifoInjector::FifoInjector() : FifoInjector(Params{}) {}
+
+FifoInjector::FifoInjector(Params params) : params_(params) {
+  assert(params_.latency_chars >= 4 &&
+         "window must still be resident on the even clock");
+  assert(params_.fifo_capacity > params_.latency_chars);
+}
+
+void FifoInjector::rearm() noexcept {
+  once_done_ = false;
+  inject_now_ = false;
+}
+
+bool FifoInjector::compare_matches() const noexcept {
+  const bool data_ok =
+      ((window_data_ ^ config_.compare_data) & config_.compare_mask) == 0;
+  const bool ctl_ok =
+      ((window_ctl_ ^ config_.compare_ctl) & config_.compare_ctl_mask & 0x0F) == 0;
+  return data_ok && ctl_ok;
+}
+
+void FifoInjector::corrupt_window() {
+  // The window is the four newest FIFO entries; entry fifo_[size-1] is the
+  // newest and corresponds to corrupt-vector bits [7:0].
+  const std::size_t n = fifo_.size() < 4 ? fifo_.size() : 4;
+  for (std::size_t lane = 0; lane < n; ++lane) {
+    link::Symbol& s = fifo_[fifo_.size() - 1 - lane];
+    const auto shift = static_cast<unsigned>(8 * lane);
+    const auto lane_data =
+        static_cast<std::uint8_t>(config_.corrupt_data >> shift);
+    const auto lane_mask =
+        static_cast<std::uint8_t>(config_.corrupt_mask >> shift);
+    const std::uint8_t ctl_bit = static_cast<std::uint8_t>(1u << lane);
+    switch (config_.corrupt_mode) {
+      case CorruptMode::kToggle:
+        s.data ^= lane_data;
+        if ((config_.corrupt_ctl & ctl_bit) != 0) s.control = !s.control;
+        break;
+      case CorruptMode::kReplace:
+        s.data = static_cast<std::uint8_t>((s.data & ~lane_mask) |
+                                           (lane_data & lane_mask));
+        if ((config_.corrupt_ctl_mask & ctl_bit) != 0) {
+          s.control = (config_.corrupt_ctl & ctl_bit) != 0;
+        }
+        break;
+    }
+  }
+}
+
+bool FifoInjector::lfsr_permits() noexcept {
+  if (config_.lfsr_mask == 0) return true;
+  // 16-bit Fibonacci LFSR, taps 16,14,13,11 (maximal length).
+  const std::uint16_t bit = static_cast<std::uint16_t>(
+      ((lfsr_ >> 0) ^ (lfsr_ >> 2) ^ (lfsr_ >> 3) ^ (lfsr_ >> 5)) & 1u);
+  lfsr_ = static_cast<std::uint16_t>((lfsr_ >> 1) | (bit << 15));
+  return (lfsr_ & config_.lfsr_mask) == 0;
+}
+
+bool FifoInjector::pending_payload() const noexcept {
+  for (const auto& s : fifo_) {
+    if (!is_idle_character(s)) return true;
+  }
+  return false;
+}
+
+FifoInjector::Result FifoInjector::clock(std::optional<link::Symbol> in) {
+  Result result;
+
+  // --- Odd clock: push, pop, shift compare registers. -----------------
+  // On an idle wire the free-running clock pushes an IDLE character, so
+  // every character spends exactly latency_chars clock pairs in the device.
+  const link::Symbol pushed =
+      in.value_or(myrinet::to_symbol(myrinet::ControlSymbol::kIdle));
+  if (in.has_value()) ++stats_.characters;
+  if (fifo_.size() < params_.fifo_capacity) fifo_.push_back(pushed);
+  window_data_ = (window_data_ << 8) | pushed.data;
+  window_ctl_ = static_cast<std::uint8_t>(((window_ctl_ << 1) & 0x0F) |
+                                          (pushed.control ? 1u : 0u));
+  if (fifo_.size() > params_.latency_chars) {
+    result.out = fifo_.front();
+    fifo_.pop_front();
+  }
+
+  // --- Even clock: evaluate compare, corrupt in the FIFO. --------------
+  // Idle ticks skip the inject phase: corrupting synthesized filler has no
+  // counterpart on a wire that carries no characters (and would otherwise
+  // manufacture payload out of nothing during the drain).
+  if (!in.has_value()) return result;
+
+  // Word-granular hardware evaluates the compare once per 32-bit segment.
+  const std::uint8_t stride =
+      config_.compare_stride == 0 ? 1 : config_.compare_stride;
+  if (stats_.characters % stride != 0) return result;
+
+  // The LFSR free-runs on every compare cycle regardless of the match.
+  const bool lfsr_ok = lfsr_permits();
+  const bool matched = compare_matches() && lfsr_ok;
+  if (matched) ++stats_.matches;
+  result.matched = matched;
+
+  bool fire = false;
+  if (inject_now_) {
+    fire = true;
+    inject_now_ = false;
+    ++stats_.forced;
+  } else if (matched) {
+    switch (config_.match_mode) {
+      case MatchMode::kOff:
+        break;
+      case MatchMode::kOn:
+        fire = true;
+        break;
+      case MatchMode::kOnce:
+        if (!once_done_) {
+          fire = true;
+          once_done_ = true;
+        }
+        break;
+    }
+  }
+
+  if (fire && !fifo_.empty()) {
+    corrupt_window();
+    ++stats_.injections;
+    result.injected = true;
+  }
+  return result;
+}
+
+}  // namespace hsfi::core

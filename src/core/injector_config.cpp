@@ -1,0 +1,53 @@
+#include "core/injector_config.hpp"
+
+#include <cstdio>
+
+namespace hsfi::core {
+
+std::string_view to_string(MatchMode m) noexcept {
+  switch (m) {
+    case MatchMode::kOff: return "OFF";
+    case MatchMode::kOn: return "ON";
+    case MatchMode::kOnce: return "ONCE";
+  }
+  return "?";
+}
+
+std::string_view to_string(CorruptMode m) noexcept {
+  switch (m) {
+    case CorruptMode::kToggle: return "TOGGLE";
+    case CorruptMode::kReplace: return "REPLACE";
+  }
+  return "?";
+}
+
+std::optional<MatchMode> parse_match_mode(std::string_view s) {
+  if (s == "OFF") return MatchMode::kOff;
+  if (s == "ON") return MatchMode::kOn;
+  if (s == "ONCE") return MatchMode::kOnce;
+  return std::nullopt;
+}
+
+std::optional<CorruptMode> parse_corrupt_mode(std::string_view s) {
+  if (s == "TOGGLE") return CorruptMode::kToggle;
+  if (s == "REPLACE") return CorruptMode::kReplace;
+  return std::nullopt;
+}
+
+std::string describe(const InjectorConfig& config) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "MODE %s CORR %s CMPD %08X CMPM %08X CMPC %X %X "
+                "CORD %08X CORM %08X CORC %X %X CRCR %s CMPS %u",
+                std::string(to_string(config.match_mode)).c_str(),
+                std::string(to_string(config.corrupt_mode)).c_str(),
+                config.compare_data, config.compare_mask,
+                config.compare_ctl & 0xF, config.compare_ctl_mask & 0xF,
+                config.corrupt_data, config.corrupt_mask,
+                config.corrupt_ctl & 0xF, config.corrupt_ctl_mask & 0xF,
+                config.crc_repatch ? "ON" : "OFF",
+                static_cast<unsigned>(config.compare_stride));
+  return buf;
+}
+
+}  // namespace hsfi::core

@@ -1,0 +1,83 @@
+// Register-transfer-level model of the FIFO injector.
+//
+// The paper's artifact was VHDL: "The injector was first implemented in
+// VHDL, and the synthesized hardware was uploaded into an FPGA" (§3.2).
+// This model mirrors that structure — explicit dual-port RAM, read/write
+// pointers, an occupancy counter, 36-bit compare shift registers, the
+// stride counter and trigger LFSR — with the two-phase clock discipline of
+// Figs. 2 and 3: all state updates on clock edges from values computed
+// off the previous state.
+//
+// Its purpose is cross-validation: tests drive identical stimulus through
+// this model and the behavioral core::FifoInjector and require
+// cycle-identical outputs (the simulation analogue of checking synthesized
+// hardware against its specification). The netlist resource model in
+// src/netlist counts the very registers declared here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "core/injector_config.hpp"
+#include "link/symbol.hpp"
+
+namespace hsfi::core {
+
+class RtlFifoInjector {
+ public:
+  struct Params {
+    std::size_t latency_chars = 20;
+    std::size_t fifo_capacity = 64;  ///< RAM depth (power of two not required)
+  };
+
+  struct Result {
+    std::optional<link::Symbol> out;
+    bool matched = false;
+    bool injected = false;
+  };
+
+  RtlFifoInjector() : RtlFifoInjector(Params{}) {}
+  explicit RtlFifoInjector(Params params);
+
+  [[nodiscard]] InjectorConfig& config() noexcept { return config_; }
+  void rearm() noexcept {
+    once_done_ = false;
+    inject_now_ = false;
+  }
+  void inject_now() noexcept { inject_now_ = true; }
+
+  /// One odd+even clock pair; nullopt = idle wire (the free-running clock
+  /// pushes an IDLE character).
+  Result clock(std::optional<link::Symbol> in);
+
+  [[nodiscard]] std::size_t occupancy() const noexcept { return count_; }
+  [[nodiscard]] bool pending_payload() const noexcept;
+
+ private:
+  /// One 9-bit RAM word: data plus the D/C bit.
+  struct Word {
+    std::uint8_t data = 0;
+    bool control = false;
+  };
+
+  [[nodiscard]] std::size_t wrap(std::size_t index) const noexcept {
+    return index % params_.fifo_capacity;
+  }
+
+  Params params_;
+  InjectorConfig config_;
+
+  // --- registers (what the synthesis model counts) ---
+  std::array<Word, 4096> ram_{};     // dual-port RAM (capacity bounds use)
+  std::size_t wr_ptr_ = 0;           // write pointer register
+  std::size_t rd_ptr_ = 0;           // read pointer register
+  std::size_t count_ = 0;            // occupancy counter register
+  std::array<Word, 4> window_{};     // compare window shift registers
+  std::uint64_t char_counter_ = 0;   // stride counter register
+  std::uint16_t lfsr_ = 0xACE1;      // trigger LFSR register
+  bool once_done_ = false;           // ONCE latch
+  bool inject_now_ = false;          // inject-now strobe
+};
+
+}  // namespace hsfi::core

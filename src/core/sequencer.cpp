@@ -1,0 +1,93 @@
+#include "core/sequencer.hpp"
+
+#include <utility>
+
+namespace hsfi::core {
+
+FaultSequencer::FaultSequencer(sim::Simulator& simulator,
+                               InjectorDevice& device, Direction direction)
+    : simulator_(simulator), device_(device), direction_(direction) {}
+
+FaultSequencer::~FaultSequencer() {
+  if (poll_event_ != sim::kInvalidEventId) simulator_.cancel(poll_event_);
+}
+
+bool FaultSequencer::load(std::vector<Step> steps) {
+  for (const auto& step : steps) {
+    if (step.max_injections == 0 && step.max_duration <= 0) return false;
+  }
+  stop();
+  steps_ = std::move(steps);
+  current_ = 0;
+  return true;
+}
+
+void FaultSequencer::start(sim::Duration poll_interval) {
+  if (steps_.empty() || running_) return;
+  poll_interval_ = poll_interval > 0 ? poll_interval : sim::microseconds(10);
+  running_ = true;
+  current_ = 0;
+  arm_current();
+}
+
+void FaultSequencer::stop() {
+  running_ = false;
+  if (poll_event_ != sim::kInvalidEventId) {
+    simulator_.cancel(poll_event_);
+    poll_event_ = sim::kInvalidEventId;
+  }
+  auto cfg = device_.config(direction_);
+  cfg.match_mode = MatchMode::kOff;
+  device_.apply(direction_, cfg);
+}
+
+void FaultSequencer::arm_current() {
+  device_.apply(direction_, steps_[current_].config);
+  injections_at_arm_ = device_.fifo_stats(direction_).injections;
+  armed_at_ = simulator_.now();
+  poll_event_ = simulator_.schedule_in(poll_interval_, [this] { poll(); });
+}
+
+void FaultSequencer::poll() {
+  poll_event_ = sim::kInvalidEventId;
+  if (!running_) return;
+  const Step& step = steps_[current_];
+  const std::uint64_t fired =
+      device_.fifo_stats(direction_).injections - injections_at_arm_;
+  const bool by_count =
+      step.max_injections != 0 && fired >= step.max_injections;
+  const bool by_time = step.max_duration > 0 &&
+                       simulator_.now() - armed_at_ >= step.max_duration;
+  if (by_count || by_time) {
+    advance();
+    return;
+  }
+  poll_event_ = simulator_.schedule_in(poll_interval_, [this] { poll(); });
+}
+
+void FaultSequencer::advance() {
+  const std::size_t done = current_;
+  ++current_;
+  if (current_ >= steps_.size()) {
+    stop();
+    current_ = steps_.size();
+    if (step_complete_) step_complete_(done);
+    return;
+  }
+  arm_current();
+  if (step_complete_) step_complete_(done);
+}
+
+FaultSequencer::Progress FaultSequencer::progress() const noexcept {
+  Progress p;
+  p.steps_total = steps_.size();
+  p.steps_completed = current_ > steps_.size() ? steps_.size() : current_;
+  p.running = running_;
+  if (running_ && current_ < steps_.size()) {
+    p.injections_this_step =
+        device_.fifo_stats(direction_).injections - injections_at_arm_;
+  }
+  return p;
+}
+
+}  // namespace hsfi::core

@@ -1,0 +1,90 @@
+// The fault sequencer: internally generated reconfiguration.
+//
+// Paper §1: the FPGA-based design "allows the device to be programmed to
+// accept configuration commands generated either internally (i.e., by the
+// device itself) or by an external system", and §3.2: "The core logic of
+// the fault injector can be configured to iterate through any number of
+// faults".
+//
+// A FaultSequencer holds an ordered program of injector configurations and
+// advances through it on its own, without round-trips over the slow serial
+// link: each step arms one configuration and completes after a given number
+// of injections or a time budget, whichever comes first. The serial plane
+// stays in charge of loading the program and reading progress back.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/device.hpp"
+#include "core/injector_config.hpp"
+#include "sim/simulator.hpp"
+
+namespace hsfi::core {
+
+class FaultSequencer {
+ public:
+  struct Step {
+    InjectorConfig config;
+    /// Advance after this many injections (0 = no injection bound).
+    std::uint64_t max_injections = 1;
+    /// Advance after this much time armed (0 = no time bound). At least
+    /// one bound must be set or the step would never complete.
+    sim::Duration max_duration = 0;
+    std::string label;
+  };
+
+  struct Progress {
+    std::size_t steps_completed = 0;
+    std::size_t steps_total = 0;
+    std::uint64_t injections_this_step = 0;
+    bool running = false;
+  };
+
+  FaultSequencer(sim::Simulator& simulator, InjectorDevice& device,
+                 Direction direction);
+  ~FaultSequencer();
+
+  FaultSequencer(const FaultSequencer&) = delete;
+  FaultSequencer& operator=(const FaultSequencer&) = delete;
+
+  /// Replaces the program. Steps with neither bound set are rejected
+  /// (returns false) so a program cannot wedge the sequencer.
+  bool load(std::vector<Step> steps);
+
+  /// Arms the first step. The sequencer polls the device's injection
+  /// counter on its own clock (poll_interval) — the hardware equivalent is
+  /// the internal FSM watching the inject counter.
+  void start(sim::Duration poll_interval = sim::microseconds(10));
+
+  /// Disarms the device and stops advancing.
+  void stop();
+
+  [[nodiscard]] Progress progress() const noexcept;
+  /// Invoked every time a step completes (after the last one the device is
+  /// disarmed).
+  void on_step_complete(std::function<void(std::size_t step)> callback) {
+    step_complete_ = std::move(callback);
+  }
+
+ private:
+  void arm_current();
+  void poll();
+  void advance();
+
+  sim::Simulator& simulator_;
+  InjectorDevice& device_;
+  Direction direction_;
+  std::vector<Step> steps_;
+  std::size_t current_ = 0;
+  std::uint64_t injections_at_arm_ = 0;
+  sim::SimTime armed_at_ = 0;
+  sim::Duration poll_interval_ = sim::microseconds(10);
+  sim::EventId poll_event_ = sim::kInvalidEventId;
+  bool running_ = false;
+  std::function<void(std::size_t)> step_complete_;
+};
+
+}  // namespace hsfi::core

@@ -1,0 +1,33 @@
+#include "core/uart.hpp"
+
+namespace hsfi::core {
+
+Uart::Uart(sim::Simulator& simulator, Config config)
+    : simulator_(simulator), config_(config) {}
+
+void Uart::rs232_write(std::uint8_t byte) {
+  const sim::SimTime start =
+      rx_free_at_ > simulator_.now() ? rx_free_at_ : simulator_.now();
+  rx_free_at_ = start + byte_time();
+  // After the byte deserializes, the UART shifts it to the FPGA as an SPI
+  // frame; the FPGA sees it one SPI frame time later.
+  simulator_.schedule_at(rx_free_at_ + config_.spi_frame_time, [this, byte] {
+    if (!configured_) return;  // chip idle until the comm handler boots it
+    ++to_fpga_;
+    if (spi_rx_) spi_rx_(spi_frame(byte));
+  });
+}
+
+void Uart::spi_tx(std::uint16_t frame) {
+  if (!spi_frame_valid(frame)) return;
+  const std::uint8_t byte = spi_frame_data(frame);
+  const sim::SimTime start =
+      tx_free_at_ > simulator_.now() ? tx_free_at_ : simulator_.now();
+  tx_free_at_ = start + byte_time();
+  simulator_.schedule_at(tx_free_at_, [this, byte] {
+    ++to_host_;
+    if (rs232_read_) rs232_read_(byte);
+  });
+}
+
+}  // namespace hsfi::core

@@ -1,0 +1,51 @@
+// IEEE CRC-32 (polynomial 0x04C11DB7, reflected, init/xorout 0xFFFFFFFF),
+// the FC-2 frame CRC mandated by FC-PH [ANS94].
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace hsfi::fc {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) != 0 ? (c >> 1) ^ 0xEDB88320u : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+}  // namespace detail
+
+class Crc32 {
+ public:
+  constexpr void update(std::uint8_t byte) noexcept {
+    state_ = detail::kCrc32Table[(state_ ^ byte) & 0xFF] ^ (state_ >> 8);
+  }
+  constexpr void update(std::span<const std::uint8_t> bytes) noexcept {
+    for (const auto b : bytes) update(b);
+  }
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept {
+    return state_ ^ 0xFFFFFFFFu;
+  }
+  constexpr void reset() noexcept { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+[[nodiscard]] constexpr std::uint32_t crc32(
+    std::span<const std::uint8_t> bytes) noexcept {
+  Crc32 c;
+  c.update(bytes);
+  return c.value();
+}
+
+}  // namespace hsfi::fc

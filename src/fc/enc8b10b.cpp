@@ -1,0 +1,200 @@
+#include "fc/enc8b10b.hpp"
+
+#include <array>
+#include <bit>
+
+namespace hsfi::fc {
+
+namespace {
+
+struct CodePair {
+  std::uint8_t minus;  ///< used when entering disparity is RD-
+  std::uint8_t plus;   ///< used when entering disparity is RD+
+};
+
+// 5b/6b data table, indexed by the low five bits (EDCBA); codes are abcdei.
+constexpr std::array<CodePair, 32> k5b6bData = {{
+    {0b100111, 0b011000},  // D.00
+    {0b011101, 0b100010},  // D.01
+    {0b101101, 0b010010},  // D.02
+    {0b110001, 0b110001},  // D.03
+    {0b110101, 0b001010},  // D.04
+    {0b101001, 0b101001},  // D.05
+    {0b011001, 0b011001},  // D.06
+    {0b111000, 0b000111},  // D.07
+    {0b111001, 0b000110},  // D.08
+    {0b100101, 0b100101},  // D.09
+    {0b010101, 0b010101},  // D.10
+    {0b110100, 0b110100},  // D.11
+    {0b001101, 0b001101},  // D.12
+    {0b101100, 0b101100},  // D.13
+    {0b011100, 0b011100},  // D.14
+    {0b010111, 0b101000},  // D.15
+    {0b011011, 0b100100},  // D.16
+    {0b100011, 0b100011},  // D.17
+    {0b010011, 0b010011},  // D.18
+    {0b110010, 0b110010},  // D.19
+    {0b001011, 0b001011},  // D.20
+    {0b101010, 0b101010},  // D.21
+    {0b011010, 0b011010},  // D.22
+    {0b111010, 0b000101},  // D.23
+    {0b110011, 0b001100},  // D.24
+    {0b100110, 0b100110},  // D.25
+    {0b010110, 0b010110},  // D.26
+    {0b110110, 0b001001},  // D.27
+    {0b001110, 0b001110},  // D.28
+    {0b101110, 0b010001},  // D.29
+    {0b011110, 0b100001},  // D.30
+    {0b101011, 0b010100},  // D.31
+}};
+
+// 3b/4b data table, indexed by the high three bits (HGF); codes are fghj.
+// Index 7 is the primary P7 encoding; A7 handled separately.
+constexpr std::array<CodePair, 8> k3b4bData = {{
+    {0b1011, 0b0100},  // D.x.0
+    {0b1001, 0b1001},  // D.x.1
+    {0b0101, 0b0101},  // D.x.2
+    {0b1100, 0b0011},  // D.x.3
+    {0b1101, 0b0010},  // D.x.4
+    {0b1010, 0b1010},  // D.x.5
+    {0b0110, 0b0110},  // D.x.6
+    {0b1110, 0b0001},  // D.x.P7
+}};
+constexpr CodePair kA7 = {0b0111, 0b1000};
+
+// 3b/4b special (K) table.
+constexpr std::array<CodePair, 8> k3b4bSpecial = {{
+    {0b1011, 0b0100},  // K.x.0
+    {0b0110, 0b1001},  // K.x.1
+    {0b1010, 0b0101},  // K.x.2
+    {0b1100, 0b0011},  // K.x.3
+    {0b1101, 0b0010},  // K.x.4
+    {0b0101, 0b1010},  // K.x.5
+    {0b1001, 0b0110},  // K.x.6
+    {0b0111, 0b1000},  // K.x.7
+}};
+
+[[nodiscard]] constexpr bool valid_k(std::uint8_t value) noexcept {
+  const std::uint8_t x = value & 0x1F;
+  const std::uint8_t y = value >> 5;
+  if (x == 28) return true;
+  return y == 7 && (x == 23 || x == 27 || x == 29 || x == 30);
+}
+
+[[nodiscard]] constexpr std::uint8_t k5b6b_special(std::uint8_t x,
+                                                   bool minus) noexcept {
+  if (x == 28) return minus ? 0b001111 : 0b110000;
+  // K23/27/29/30 share the 5b/6b blocks of the same-numbered D codes.
+  const CodePair& p = k5b6bData[x];
+  return minus ? p.minus : p.plus;
+}
+
+[[nodiscard]] constexpr Disparity apply_block(Disparity rd, std::uint8_t code,
+                                              int width) noexcept {
+  const int ones = std::popcount(static_cast<unsigned>(code));
+  const int disparity = 2 * ones - width;
+  return disparity == 0 ? rd : flip(rd);
+}
+
+/// Whether D.x.A7 replaces D.x.P7 to avoid a run of five identical bits.
+[[nodiscard]] constexpr bool use_a7(std::uint8_t x, Disparity rd_mid) noexcept {
+  if (rd_mid == Disparity::kMinus) return x == 17 || x == 18 || x == 20;
+  return x == 11 || x == 13 || x == 14;
+}
+
+std::optional<std::uint16_t> encode_one(Char8 c, Disparity rd,
+                                        Disparity& rd_out) {
+  const std::uint8_t x = c.value & 0x1F;
+  const std::uint8_t y = c.value >> 5;
+  const bool minus = rd == Disparity::kMinus;
+
+  std::uint8_t six = 0;
+  if (c.is_k) {
+    if (!valid_k(c.value)) return std::nullopt;
+    six = k5b6b_special(x, minus);
+  } else {
+    six = minus ? k5b6bData[x].minus : k5b6bData[x].plus;
+  }
+  const Disparity rd_mid = apply_block(rd, six, 6);
+
+  CodePair pair{};
+  if (c.is_k) {
+    pair = k3b4bSpecial[y];
+  } else if (y == 7 && use_a7(x, rd_mid)) {
+    pair = kA7;
+  } else {
+    pair = k3b4bData[y];
+  }
+  const std::uint8_t four =
+      rd_mid == Disparity::kMinus ? pair.minus : pair.plus;
+  rd_out = apply_block(rd_mid, four, 4);
+  return static_cast<std::uint16_t>((six << 4) | four);
+}
+
+struct DecodeTables {
+  // code -> packed char (bit 8 = K flag) or -1, per entering disparity.
+  std::array<std::int16_t, 1024> minus{};
+  std::array<std::int16_t, 1024> plus{};
+
+  DecodeTables() {
+    minus.fill(-1);
+    plus.fill(-1);
+    for (int k = 0; k <= 1; ++k) {
+      for (int v = 0; v < 256; ++v) {
+        const Char8 c{static_cast<std::uint8_t>(v), k == 1};
+        if (c.is_k && !valid_k(c.value)) continue;
+        Disparity rd_out = Disparity::kMinus;
+        if (const auto m = encode_one(c, Disparity::kMinus, rd_out)) {
+          minus[*m] = static_cast<std::int16_t>(v | (k << 8));
+        }
+        if (const auto p = encode_one(c, Disparity::kPlus, rd_out)) {
+          plus[*p] = static_cast<std::int16_t>(v | (k << 8));
+        }
+      }
+    }
+  }
+};
+
+const DecodeTables& decode_tables() {
+  static const DecodeTables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::optional<EncodeResult> encode_8b10b(Char8 c, Disparity rd) {
+  Disparity rd_out = rd;
+  const auto code = encode_one(c, rd, rd_out);
+  if (!code) return std::nullopt;
+  return EncodeResult{*code, rd_out};
+}
+
+DecodeResult decode_8b10b(std::uint16_t code, Disparity rd) {
+  DecodeResult out;
+  code &= 0x3FF;
+  const auto& tables = decode_tables();
+  const std::int16_t expected = rd == Disparity::kMinus
+                                    ? tables.minus[code]
+                                    : tables.plus[code];
+  const std::int16_t other = rd == Disparity::kMinus ? tables.plus[code]
+                                                     : tables.minus[code];
+  std::int16_t packed = expected;
+  if (packed < 0 && other >= 0) {
+    // Legal group, but not for the current running disparity.
+    out.disparity_error = true;
+    packed = other;
+  }
+  if (packed < 0) {
+    out.code_violation = true;
+    out.rd = apply_block(rd, static_cast<std::uint8_t>(code >> 4), 6);
+    out.rd = apply_block(out.rd, static_cast<std::uint8_t>(code & 0xF), 4);
+    return out;
+  }
+  out.character = Char8{static_cast<std::uint8_t>(packed & 0xFF),
+                        (packed & 0x100) != 0};
+  out.rd = apply_block(rd, static_cast<std::uint8_t>(code >> 4), 6);
+  out.rd = apply_block(out.rd, static_cast<std::uint8_t>(code & 0xF), 4);
+  return out;
+}
+
+}  // namespace hsfi::fc

@@ -1,0 +1,60 @@
+// IBM 8b/10b transmission code (Widmer & Franaszek), as used by Fibre
+// Channel FC-1 (ANSI X3.230-1994 [ANS94] in the paper's references).
+//
+// The encoder maps an 8-bit byte (plus the data/special K flag) to a 10-bit
+// code group under running disparity (RD); the decoder inverts the mapping
+// and reports invalid code groups and disparity violations — the error
+// surface a wire-level bit flip exposes on a real FC link.
+//
+// Code groups are stored as integers with transmission order 'abcdei fghj'
+// from MSB to LSB (bit 9 = a, bit 0 = j).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace hsfi::fc {
+
+/// Running disparity: strictly -1 or +1 between code groups.
+enum class Disparity : std::int8_t { kMinus = -1, kPlus = +1 };
+
+[[nodiscard]] constexpr Disparity flip(Disparity d) noexcept {
+  return d == Disparity::kMinus ? Disparity::kPlus : Disparity::kMinus;
+}
+
+/// A character to encode: 8-bit value plus the K (special) flag.
+struct Char8 {
+  std::uint8_t value = 0;
+  bool is_k = false;
+
+  friend constexpr bool operator==(const Char8&, const Char8&) = default;
+};
+
+/// Standard spelling helpers: D<x>.<y> and K<x>.<y>.
+[[nodiscard]] constexpr Char8 D(std::uint8_t x, std::uint8_t y) noexcept {
+  return Char8{static_cast<std::uint8_t>((y << 5) | (x & 0x1F)), false};
+}
+[[nodiscard]] constexpr Char8 K(std::uint8_t x, std::uint8_t y) noexcept {
+  return Char8{static_cast<std::uint8_t>((y << 5) | (x & 0x1F)), true};
+}
+
+struct EncodeResult {
+  std::uint16_t code = 0;  ///< 10-bit group
+  Disparity rd = Disparity::kMinus;  ///< disparity after this group
+};
+
+/// Encodes one character. Invalid K characters (outside K28.0-7, K23.7,
+/// K27.7, K29.7, K30.7) return nullopt.
+[[nodiscard]] std::optional<EncodeResult> encode_8b10b(Char8 c, Disparity rd);
+
+struct DecodeResult {
+  Char8 character{};
+  Disparity rd = Disparity::kMinus;  ///< disparity after this group
+  bool code_violation = false;       ///< not a valid 10-bit group at all
+  bool disparity_error = false;      ///< valid group, wrong running disparity
+};
+
+/// Decodes one 10-bit group under the current running disparity.
+[[nodiscard]] DecodeResult decode_8b10b(std::uint16_t code, Disparity rd);
+
+}  // namespace hsfi::fc

@@ -1,0 +1,155 @@
+#include "fc/frame.hpp"
+
+#include <algorithm>
+
+#include "fc/crc32.hpp"
+
+namespace hsfi::fc {
+
+namespace {
+
+struct OsEntry {
+  OrderedSet os;
+  std::array<Char8, 4> chars;
+};
+
+// Representative FC-PH ordered-set spellings (second character selects the
+// class/negative-disparity variant; the exact D-codes beyond K28.5 vary by
+// edition — what matters to the model is that they are distinct, K-led, and
+// four characters long).
+const std::array<OsEntry, 6>& os_table() {
+  static const std::array<OsEntry, 6> table = {{
+      {OrderedSet::kIdle, {K(28, 5), D(21, 4), D(21, 5), D(21, 5)}},
+      {OrderedSet::kRRdy, {K(28, 5), D(21, 4), D(10, 2), D(10, 2)}},
+      {OrderedSet::kSofI3, {K(28, 5), D(21, 5), D(22, 2), D(22, 2)}},
+      {OrderedSet::kSofN3, {K(28, 5), D(21, 5), D(22, 1), D(22, 1)}},
+      {OrderedSet::kEofN, {K(28, 5), D(21, 4), D(21, 6), D(21, 6)}},
+      {OrderedSet::kEofT, {K(28, 5), D(21, 4), D(21, 3), D(21, 3)}},
+  }};
+  return table;
+}
+
+}  // namespace
+
+std::array<Char8, 4> ordered_set_chars(OrderedSet os) noexcept {
+  for (const auto& e : os_table()) {
+    if (e.os == os) return e.chars;
+  }
+  return os_table()[0].chars;
+}
+
+std::optional<OrderedSet> parse_ordered_set(
+    std::span<const Char8, 4> chars) noexcept {
+  for (const auto& e : os_table()) {
+    if (std::equal(e.chars.begin(), e.chars.end(), chars.begin())) {
+      return e.os;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<link::Symbol> ordered_set_symbols(OrderedSet os) {
+  std::vector<link::Symbol> out;
+  out.reserve(4);
+  for (const auto c : ordered_set_chars(os)) {
+    out.push_back(link::Symbol{c.value, c.is_k});
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_header(const FcHeader& h) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFcHeaderSize);
+  const auto put24 = [&out](std::uint32_t v) {
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v));
+  };
+  const auto put16 = [&out](std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v));
+  };
+  out.push_back(h.r_ctl);
+  put24(h.d_id);
+  out.push_back(h.cs_ctl);
+  put24(h.s_id);
+  out.push_back(h.type);
+  put24(h.f_ctl);
+  out.push_back(h.seq_id);
+  out.push_back(h.df_ctl);
+  put16(h.seq_cnt);
+  put16(h.ox_id);
+  put16(h.rx_id);
+  out.push_back(static_cast<std::uint8_t>(h.parameter >> 24));
+  out.push_back(static_cast<std::uint8_t>(h.parameter >> 16));
+  out.push_back(static_cast<std::uint8_t>(h.parameter >> 8));
+  out.push_back(static_cast<std::uint8_t>(h.parameter));
+  return out;
+}
+
+std::optional<FcHeader> parse_header(std::span<const std::uint8_t> b) {
+  if (b.size() < kFcHeaderSize) return std::nullopt;
+  const auto get24 = [&b](std::size_t i) {
+    return static_cast<std::uint32_t>((b[i] << 16) | (b[i + 1] << 8) |
+                                      b[i + 2]);
+  };
+  FcHeader h;
+  h.r_ctl = b[0];
+  h.d_id = get24(1);
+  h.cs_ctl = b[4];
+  h.s_id = get24(5);
+  h.type = b[8];
+  h.f_ctl = get24(9);
+  h.seq_id = b[12];
+  h.df_ctl = b[13];
+  h.seq_cnt = static_cast<std::uint16_t>((b[14] << 8) | b[15]);
+  h.ox_id = static_cast<std::uint16_t>((b[16] << 8) | b[17]);
+  h.rx_id = static_cast<std::uint16_t>((b[18] << 8) | b[19]);
+  h.parameter = static_cast<std::uint32_t>((b[20] << 24) | (b[21] << 16) |
+                                           (b[22] << 8) | b[23]);
+  return h;
+}
+
+std::vector<link::Symbol> frame_to_symbols(const FcFrame& frame) {
+  std::vector<std::uint8_t> body = encode_header(frame.header);
+  body.insert(body.end(), frame.payload.begin(), frame.payload.end());
+  const std::uint32_t crc = crc32(body);
+  body.push_back(static_cast<std::uint8_t>(crc >> 24));
+  body.push_back(static_cast<std::uint8_t>(crc >> 16));
+  body.push_back(static_cast<std::uint8_t>(crc >> 8));
+  body.push_back(static_cast<std::uint8_t>(crc));
+
+  std::vector<link::Symbol> out = ordered_set_symbols(frame.sof);
+  out.reserve(4 + body.size() + 4);
+  for (const auto b : body) out.push_back(link::data_symbol(b));
+  const auto eof = ordered_set_symbols(frame.eof);
+  out.insert(out.end(), eof.begin(), eof.end());
+  return out;
+}
+
+FcParsed parse_frame_body(std::span<const std::uint8_t> bytes) {
+  FcParsed out;
+  if (bytes.size() < kFcHeaderSize + 4) {
+    out.status = FcParseStatus::kTooShort;
+    return out;
+  }
+  const auto body = bytes.first(bytes.size() - 4);
+  const std::uint32_t wire_crc = static_cast<std::uint32_t>(
+      (bytes[bytes.size() - 4] << 24) | (bytes[bytes.size() - 3] << 16) |
+      (bytes[bytes.size() - 2] << 8) | bytes[bytes.size() - 1]);
+  if (crc32(body) != wire_crc) {
+    out.status = FcParseStatus::kCrcError;
+    return out;
+  }
+  const auto header = parse_header(body);
+  if (!header) {
+    out.status = FcParseStatus::kTooShort;
+    return out;
+  }
+  out.frame.header = *header;
+  out.frame.payload.assign(body.begin() + kFcHeaderSize, body.end());
+  out.status = FcParseStatus::kOk;
+  return out;
+}
+
+}  // namespace hsfi::fc

@@ -1,0 +1,108 @@
+// An FC N_Port pair endpoint with buffer-to-buffer credit flow control.
+//
+// Transmit: frames queue and are serialized only while BB_Credit > 0; each
+// frame consumes one credit, and each R_RDY ordered set received returns
+// one (FC-PH class-3 flow control).
+//
+// Receive: the decoded-character stream is scanned for ordered sets (K28.5
+// leads a four-character set); SOF opens a frame body, EOF closes it, the
+// CRC-32 is checked, and the frame is buffered. When the host drains a
+// buffer, an R_RDY is returned to the sender.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fc/frame.hpp"
+#include "link/channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace hsfi::fc {
+
+class FcPort final : public link::SymbolSink {
+ public:
+  struct Config {
+    std::uint32_t port_id = 0;  ///< 24-bit N_Port identifier
+    /// Credits we hold toward the peer (peer's advertised buffer count).
+    std::size_t bb_credit = 4;
+    /// Our receive buffers (what we advertise to the peer).
+    std::size_t rx_buffers = 4;
+    /// 1.0625 Gb/s => one 10-bit character every ~9.4 ns.
+    sim::Duration character_period = sim::picoseconds(9'412);
+    sim::Duration rx_processing_time = sim::microseconds(5);
+    std::size_t tx_queue_frames = 64;
+    std::size_t chunk_symbols = 64;
+    std::size_t max_tx_ahead_chars = 128;
+  };
+
+  struct Stats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t crc_errors = 0;
+    std::uint64_t rrdy_sent = 0;
+    std::uint64_t rrdy_received = 0;
+    std::uint64_t credit_stall_events = 0;
+    std::uint64_t rx_overflows = 0;
+    std::uint64_t malformed_sets = 0;   ///< K28.5 set that parsed to nothing
+    std::uint64_t stray_data = 0;       ///< data characters outside a frame
+    std::uint64_t tx_queue_drops = 0;
+  };
+
+  FcPort(sim::Simulator& simulator, std::string name, Config config);
+
+  FcPort(const FcPort&) = delete;
+  FcPort& operator=(const FcPort&) = delete;
+
+  void attach(link::Channel& rx, link::Channel& tx);
+
+  /// Queues a frame. Returns false when the send queue is full.
+  bool send(FcFrame frame);
+
+  using FrameHandler = std::function<void(FcFrame frame, sim::SimTime when)>;
+  void on_frame(FrameHandler handler) { handler_ = std::move(handler); }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t credits() const noexcept { return credits_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  // link::SymbolSink
+  void on_burst(const link::Burst& burst) override;
+
+ private:
+  void pump_tx();
+  void schedule_pump_tx();
+  void feed(link::Symbol s, sim::SimTime when);
+  void handle_ordered_set(OrderedSet os);
+  void complete_frame(OrderedSet eof);
+  void schedule_rx_drain();
+
+  sim::Simulator& simulator_;
+  std::string name_;
+  Config config_;
+  link::Channel* tx_ = nullptr;
+  FrameHandler handler_;
+
+  // Transmit.
+  std::deque<std::vector<link::Symbol>> tx_queue_;
+  std::vector<link::Symbol> tx_current_;
+  std::size_t tx_offset_ = 0;
+  std::size_t credits_;
+  bool tx_pump_scheduled_ = false;
+  bool stalled_reported_ = false;
+
+  // Receive.
+  std::vector<Char8> set_accum_;   ///< partial ordered set (K28.5-led)
+  bool in_frame_ = false;
+  OrderedSet sof_seen_ = OrderedSet::kSofI3;
+  std::vector<std::uint8_t> body_;
+  std::deque<FcFrame> rx_buffers_;
+  bool rx_drain_scheduled_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace hsfi::fc

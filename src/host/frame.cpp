@@ -1,0 +1,29 @@
+#include "host/frame.hpp"
+
+namespace hsfi::host {
+
+std::vector<std::uint8_t> encode_frame(const DataFrame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderSize + frame.body.size());
+  myrinet::put_eth(out, frame.dst_eth);
+  myrinet::put_eth(out, frame.src_eth);
+  out.push_back(frame.dst_id);
+  out.push_back(frame.src_id);
+  out.push_back(static_cast<std::uint8_t>(frame.proto));
+  out.insert(out.end(), frame.body.begin(), frame.body.end());
+  return out;
+}
+
+std::optional<DataFrame> parse_frame(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kFrameHeaderSize) return std::nullopt;
+  DataFrame f;
+  f.dst_eth = myrinet::get_eth(bytes, 0);
+  f.src_eth = myrinet::get_eth(bytes, 6);
+  f.dst_id = bytes[12];
+  f.src_id = bytes[13];
+  f.proto = static_cast<Proto>(bytes[14]);
+  f.body.assign(bytes.begin() + kFrameHeaderSize, bytes.end());
+  return f;
+}
+
+}  // namespace hsfi::host

@@ -1,0 +1,44 @@
+// The data-frame layout hosts exchange inside Myrinet data packets.
+//
+// Physical addresses "are 48-bit Ethernet addresses corresponding to
+// individual Myrinet ports" (paper §4.3.3); on top of them the stack keeps
+// small host identifiers (the role IP addresses played on the paper's
+// testbed) so that address-learning — and its corruption — behaves like
+// the real system: a node "drops incoming packets that are misaddressed".
+//
+// Layout inside a kTypeData Myrinet payload:
+//   dst_eth(6) src_eth(6) dst_id(1) src_id(1) proto(1) body...
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "myrinet/addr.hpp"
+
+namespace hsfi::host {
+
+/// Small host identifier (the "IP" of the testbed).
+using HostId = std::uint8_t;
+
+enum class Proto : std::uint8_t {
+  kUdp = 0x11,  ///< matching the IP protocol number for UDP
+};
+
+inline constexpr std::size_t kFrameHeaderSize = 6 + 6 + 1 + 1 + 1;
+
+struct DataFrame {
+  myrinet::EthAddr dst_eth{};
+  myrinet::EthAddr src_eth{};
+  HostId dst_id = 0;
+  HostId src_id = 0;
+  Proto proto = Proto::kUdp;
+  std::vector<std::uint8_t> body;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const DataFrame& frame);
+[[nodiscard]] std::optional<DataFrame> parse_frame(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace hsfi::host

@@ -1,0 +1,148 @@
+#include "host/node.hpp"
+
+#include <utility>
+
+namespace hsfi::host {
+
+Host::Host(sim::Simulator& simulator, myrinet::HostInterface& nic,
+           Config config)
+    : simulator_(simulator),
+      nic_(nic),
+      config_(config),
+      clock_(config.clock, config.seed) {
+  if (config_.boot_offset_span > 0) {
+    sim::Rng rng(config_.seed, 0xb007ULL);
+    boot_offset_ =
+        static_cast<sim::Duration>(rng.range(0, config_.boot_offset_span - 1));
+  }
+  myrinet::Mcp::Config mc;
+  mc.address = config_.mcp_address;
+  mc.eth = config_.eth;
+  mc.switch_port = config_.switch_port;
+  mc.switch_ports = config_.switch_ports;
+  mc.map_period = config_.map_period;
+  mc.reply_window = config_.map_reply_window;
+  mc.seed = config_.seed;
+  mcp_ = std::make_unique<myrinet::Mcp>(simulator_, nic_, mc);
+
+  nic_.on_deliver([this](myrinet::Delivered frame, sim::SimTime when) {
+    on_deliver(std::move(frame), when);
+  });
+}
+
+void Host::start(sim::Duration mapping_phase) { mcp_->start(mapping_phase); }
+
+void Host::seed_peer(HostId id, const myrinet::EthAddr& eth) {
+  peers_[id] = eth;
+}
+
+std::optional<myrinet::EthAddr> Host::peer(HostId id) const {
+  const auto it = peers_.find(id);
+  if (it == peers_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Host::bind(std::uint16_t port, UdpHandler handler) {
+  sockets_[port] = std::move(handler);
+}
+
+void Host::enable_echo() {
+  bind(kEchoPort, [this](HostId src, const UdpDatagram& request, sim::SimTime) {
+    UdpDatagram reply;
+    reply.src_port = kEchoPort;
+    reply.dst_port = request.src_port;
+    reply.payload = request.payload;
+    ++stats_.echo_replies;
+    send_udp(src, std::move(reply));
+  });
+}
+
+bool Host::send_udp(HostId dest, UdpDatagram dgram) {
+  const auto dest_eth = peer(dest);
+  if (!dest_eth) {
+    ++stats_.drop_unknown_peer;
+    return false;
+  }
+  const auto route = mcp_->resolve_route(*dest_eth);
+  if (!route) {
+    ++stats_.drop_unroutable;  // "removed from the network"
+    return false;
+  }
+
+  DataFrame frame;
+  frame.dst_eth = *dest_eth;
+  frame.src_eth = config_.eth;
+  frame.dst_id = dest;
+  frame.src_id = config_.id;
+  frame.proto = Proto::kUdp;
+  frame.body = encode_udp(dgram);
+
+  myrinet::Packet packet;
+  packet.route = *route;
+  packet.marker = 0x00;
+  packet.type = myrinet::kTypeData;
+  packet.payload = encode_frame(frame);
+
+  ++stats_.udp_sent;
+  // The stack serializes datagram preparation: each send occupies the host
+  // for send_stack_time before the NIC sees it.
+  const sim::SimTime now = simulator_.now();
+  const sim::SimTime start = stack_free_at_ > now ? stack_free_at_ : now;
+  stack_free_at_ = start + config_.send_stack_time + boot_offset_;
+  simulator_.schedule_at(stack_free_at_, [this, packet = std::move(packet)] {
+    if (!nic_.send(packet)) ++stats_.nic_refused;
+  });
+  return true;
+}
+
+void Host::on_deliver(myrinet::Delivered frame, sim::SimTime when) {
+  if (frame.type == myrinet::kTypeMapping) {
+    mcp_->on_mapping_frame(frame, when);
+    return;
+  }
+  if (frame.type == myrinet::kTypeData) {
+    on_data_frame(frame, when);
+    return;
+  }
+  // "most packet types are reserved for relatively obscure protocols" — a
+  // corrupted type falls here and is dropped without side effects.
+  ++stats_.drop_unknown_type;
+}
+
+void Host::on_data_frame(const myrinet::Delivered& frame, sim::SimTime when) {
+  const auto parsed = parse_frame(frame.payload);
+  if (!parsed) {
+    ++stats_.drop_malformed;
+    return;
+  }
+  if (parsed->dst_eth != config_.eth || parsed->dst_id != config_.id) {
+    ++stats_.drop_misaddressed;
+    return;
+  }
+  // Address learning: remember where this peer claims to live. This is the
+  // surface the sender-address-corruption campaign attacks.
+  peers_[parsed->src_id] = parsed->src_eth;
+
+  if (parsed->proto != Proto::kUdp) {
+    ++stats_.drop_malformed;
+    return;
+  }
+  const auto udp = decode_udp(parsed->body);
+  if (udp.error) {
+    switch (*udp.error) {
+      case UdpParseError::kBadChecksum: ++stats_.drop_bad_checksum; break;
+      case UdpParseError::kBadLength: ++stats_.drop_bad_length; break;
+      case UdpParseError::kTooShort: ++stats_.drop_malformed; break;
+    }
+    return;
+  }
+  const auto socket = sockets_.find(udp.datagram->dst_port);
+  if (socket == sockets_.end()) {
+    ++stats_.drop_unbound_port;
+    return;
+  }
+  ++stats_.udp_delivered;
+  socket->second(parsed->src_id, *udp.datagram, when);
+}
+
+}  // namespace hsfi::host

@@ -1,0 +1,121 @@
+// A host node: the stack running on each testbed machine (paper Fig. 10's
+// Linux PC and the two UltraSPARC workstations).
+//
+// Composition per node: a Myrinet host interface (NIC), the MCP (mapping
+// participant), an address-learning cache binding small host ids to 48-bit
+// physical addresses, and a UDP layer with the one's-complement checksum.
+//
+// Behaviors the campaigns rely on:
+//   - "the node drops incoming packets that are misaddressed" — both the
+//     physical-address and the host-id checks (§4.3.3);
+//   - peers learn a node's physical address from the source field of
+//     frames it sends, so corrupting that field in flight makes the node
+//     "unreachable to all Ethernet-based network traffic" while Myrinet
+//     mapping — keyed by relative ports — keeps working (§4.3.3);
+//   - unrecognized packet types are dropped without touching network state
+//     (§4.3.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "host/clock.hpp"
+#include "host/frame.hpp"
+#include "host/udp.hpp"
+#include "myrinet/host_iface.hpp"
+#include "myrinet/mcp.hpp"
+#include "sim/simulator.hpp"
+
+namespace hsfi::host {
+
+class Host {
+ public:
+  struct Config {
+    HostId id = 0;
+    myrinet::EthAddr eth{};
+    myrinet::McpAddress mcp_address = 0;
+    std::uint8_t switch_port = 0;
+    std::size_t switch_ports = 8;
+    /// Host-side cost to build and hand one datagram to the NIC.
+    sim::Duration send_stack_time = sim::microseconds(5);
+    /// Per-boot systematic offset added to every stack traversal, drawn
+    /// uniformly from [0, boot_offset_span) at construction. Models the
+    /// boot-dependent interrupt/timer alignment that buries the injector's
+    /// ~250 ns latency in Table 2 ("the actual latency interval is getting
+    /// lost in the granularity caused by the computer's interrupt
+    /// handler").
+    sim::Duration boot_offset_span = 0;
+    sim::Duration map_period = sim::milliseconds(1000);
+    sim::Duration map_reply_window = sim::milliseconds(10);
+    HostClock::Params clock = {};
+    std::uint64_t seed = 1;
+  };
+
+  struct Stats {
+    std::uint64_t udp_sent = 0;         ///< accepted into the stack
+    std::uint64_t udp_delivered = 0;    ///< handed to a bound socket
+    std::uint64_t echo_replies = 0;
+    std::uint64_t drop_unknown_peer = 0;   ///< no address for that host id
+    std::uint64_t drop_unroutable = 0;     ///< not in the Myrinet map
+    std::uint64_t drop_misaddressed = 0;   ///< wrong dst address or id
+    std::uint64_t drop_bad_checksum = 0;
+    std::uint64_t drop_bad_length = 0;
+    std::uint64_t drop_malformed = 0;
+    std::uint64_t drop_unknown_type = 0;   ///< reserved/corrupted packet type
+    std::uint64_t drop_unbound_port = 0;
+    std::uint64_t nic_refused = 0;         ///< NIC send queue full
+  };
+
+  using UdpHandler =
+      std::function<void(HostId src, const UdpDatagram&, sim::SimTime when)>;
+
+  Host(sim::Simulator& simulator, myrinet::HostInterface& nic, Config config);
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  /// Begins MCP mapping participation.
+  void start(sim::Duration mapping_phase);
+
+  /// Seeds the address cache (the campaign's "known good state").
+  void seed_peer(HostId id, const myrinet::EthAddr& eth);
+  [[nodiscard]] std::optional<myrinet::EthAddr> peer(HostId id) const;
+
+  void bind(std::uint16_t port, UdpHandler handler);
+  /// Answers echo datagrams (UDP port 7) by returning the payload — the
+  /// ping responder.
+  void enable_echo();
+
+  /// Sends a datagram to `dest`. Returns false when it is dropped before
+  /// reaching the wire (unknown peer, unroutable, NIC queue full).
+  bool send_udp(HostId dest, UdpDatagram dgram);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void clear_stats() noexcept { stats_ = Stats{}; }
+
+  [[nodiscard]] myrinet::Mcp& mcp() noexcept { return *mcp_; }
+  [[nodiscard]] const myrinet::Mcp& mcp() const noexcept { return *mcp_; }
+  [[nodiscard]] const HostClock& clock() const noexcept { return clock_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] myrinet::HostInterface& nic() noexcept { return nic_; }
+
+ private:
+  void on_deliver(myrinet::Delivered frame, sim::SimTime when);
+  void on_data_frame(const myrinet::Delivered& frame, sim::SimTime when);
+
+  sim::Simulator& simulator_;
+  myrinet::HostInterface& nic_;
+  Config config_;
+  HostClock clock_;
+  sim::Duration boot_offset_ = 0;
+  std::unique_ptr<myrinet::Mcp> mcp_;
+  std::map<HostId, myrinet::EthAddr> peers_;
+  std::map<std::uint16_t, UdpHandler> sockets_;
+  sim::SimTime stack_free_at_ = 0;
+  Stats stats_;
+};
+
+}  // namespace hsfi::host

@@ -1,0 +1,86 @@
+#include "host/ping.hpp"
+
+#include <utility>
+
+namespace hsfi::host {
+
+Pinger::Pinger(sim::Simulator& simulator, Host& host, Config config)
+    : simulator_(simulator), host_(host), config_(config) {
+  host_.bind(config_.src_port,
+             [this](HostId, const UdpDatagram& reply, sim::SimTime when) {
+               on_reply(reply, when);
+             });
+}
+
+Pinger::~Pinger() {
+  if (timeout_event_ != sim::kInvalidEventId) simulator_.cancel(timeout_event_);
+}
+
+void Pinger::start() {
+  if (running_) return;
+  running_ = true;
+  send_next();
+}
+
+void Pinger::stop() {
+  running_ = false;
+  if (timeout_event_ != sim::kInvalidEventId) {
+    simulator_.cancel(timeout_event_);
+    timeout_event_ = sim::kInvalidEventId;
+  }
+}
+
+void Pinger::send_next() {
+  if (!running_) return;
+  if (config_.max_packets != 0 && results_.sent >= config_.max_packets) {
+    finish();
+    return;
+  }
+  ++seq_;
+  UdpDatagram request;
+  request.src_port = config_.src_port;
+  request.dst_port = kEchoPort;
+  request.payload.resize(config_.payload_size, 0x5A);
+  // Sequence number in the first four payload bytes.
+  for (int i = 0; i < 4 && i < static_cast<int>(request.payload.size()); ++i) {
+    request.payload[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(seq_ >> (8 * (3 - i)));
+  }
+  sent_sim_ = simulator_.now();
+  sent_wall_ = host_.clock().wall(sent_sim_);
+  ++results_.sent;
+  host_.send_udp(config_.target, std::move(request));
+  timeout_event_ =
+      simulator_.schedule_in(config_.timeout, [this] { on_timeout(); });
+}
+
+void Pinger::on_reply(const UdpDatagram& reply, sim::SimTime when) {
+  if (!running_ || reply.payload.size() < 4) return;
+  std::uint32_t seq = 0;
+  for (int i = 0; i < 4; ++i) {
+    seq = (seq << 8) | reply.payload[static_cast<std::size_t>(i)];
+  }
+  if (seq != seq_) return;  // stale reply from a timed-out request
+  if (timeout_event_ != sim::kInvalidEventId) {
+    simulator_.cancel(timeout_event_);
+    timeout_event_ = sim::kInvalidEventId;
+  }
+  ++results_.received;
+  results_.total_sim_rtt += when - sent_sim_;
+  results_.total_wall_rtt += host_.clock().wall(when) - sent_wall_;
+  send_next();
+}
+
+void Pinger::on_timeout() {
+  timeout_event_ = sim::kInvalidEventId;
+  if (!running_) return;
+  ++results_.timeouts;
+  send_next();
+}
+
+void Pinger::finish() {
+  running_ = false;
+  if (done_) done_();
+}
+
+}  // namespace hsfi::host

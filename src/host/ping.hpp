@@ -1,0 +1,83 @@
+// Ping: the echo-based latency and liveness tool.
+//
+// The paper uses "the standard Unix ping program with the flood option" for
+// load, and measures the injector's added latency "by a standard ping-pong
+// packet-sending technique... with each side waiting for the other's packet
+// before sending a packet" (§3.5, Table 2).
+//
+// This Pinger sends a UDP echo request, waits for the reply (or a timeout),
+// records the round-trip time as seen through the host's interrupt-granular
+// wall clock, and immediately sends the next request — flood ping and the
+// Table 2 ping-pong are the same loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "host/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace hsfi::host {
+
+class Pinger {
+ public:
+  struct Config {
+    HostId target = 0;
+    std::uint16_t src_port = 1024;
+    std::size_t payload_size = 16;
+    sim::Duration timeout = sim::milliseconds(10);
+    /// Stop after this many requests (0 = run until stop()).
+    std::uint64_t max_packets = 0;
+  };
+
+  struct Results {
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t timeouts = 0;
+    /// Sum of wall-clock RTTs (host-clock quantized), for averages.
+    sim::Duration total_wall_rtt = 0;
+    /// Sum of true simulated RTTs, for calibration in tests.
+    sim::Duration total_sim_rtt = 0;
+
+    [[nodiscard]] double average_wall_rtt_ns() const {
+      return received == 0
+                 ? 0.0
+                 : sim::to_nanoseconds(total_wall_rtt) /
+                       static_cast<double>(received);
+    }
+  };
+
+  Pinger(sim::Simulator& simulator, Host& host, Config config);
+  ~Pinger();
+
+  Pinger(const Pinger&) = delete;
+  Pinger& operator=(const Pinger&) = delete;
+
+  void start();
+  void stop();
+  /// Invoked once max_packets have been answered or timed out.
+  void on_done(std::function<void()> callback) { done_ = std::move(callback); }
+
+  [[nodiscard]] const Results& results() const noexcept { return results_; }
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+ private:
+  void send_next();
+  void on_reply(const UdpDatagram& reply, sim::SimTime when);
+  void on_timeout();
+  void finish();
+
+  sim::Simulator& simulator_;
+  Host& host_;
+  Config config_;
+  bool running_ = false;
+  std::uint32_t seq_ = 0;
+  sim::SimTime sent_sim_ = 0;
+  sim::SimTime sent_wall_ = 0;
+  sim::EventId timeout_event_ = sim::kInvalidEventId;
+  Results results_;
+  std::function<void()> done_;
+};
+
+}  // namespace hsfi::host

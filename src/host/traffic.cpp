@@ -1,0 +1,67 @@
+#include "host/traffic.hpp"
+
+#include <utility>
+
+namespace hsfi::host {
+
+UdpFlood::UdpFlood(sim::Simulator& simulator, Host& host, Config config)
+    : simulator_(simulator),
+      host_(host),
+      config_(config),
+      rng_(config.seed, config.src_port) {}
+
+UdpFlood::~UdpFlood() {
+  if (event_ != sim::kInvalidEventId) simulator_.cancel(event_);
+}
+
+void UdpFlood::start() {
+  if (running_) return;
+  running_ = true;
+  tick();
+}
+
+void UdpFlood::stop() {
+  running_ = false;
+  if (event_ != sim::kInvalidEventId) {
+    simulator_.cancel(event_);
+    event_ = sim::kInvalidEventId;
+  }
+}
+
+void UdpFlood::tick() {
+  event_ = sim::kInvalidEventId;
+  if (!running_) return;
+  if (config_.max_packets != 0 && sent_ >= config_.max_packets) {
+    running_ = false;
+    return;
+  }
+  const std::size_t burst = config_.burst_size == 0 ? 1 : config_.burst_size;
+  for (std::size_t i = 0; i < burst; ++i) {
+    if (config_.max_packets != 0 && sent_ >= config_.max_packets) break;
+    UdpDatagram dgram;
+    dgram.src_port = config_.src_port;
+    dgram.dst_port = config_.dst_port;
+    dgram.payload.assign(config_.payload_size, config_.fill);
+    ++sent_;
+    host_.send_udp(config_.target, std::move(dgram));
+  }
+  sim::Duration wait = config_.interval * static_cast<sim::Duration>(burst);
+  if (config_.jitter > 0.0) {
+    const double span = config_.jitter * static_cast<double>(wait);
+    wait += static_cast<sim::Duration>((rng_.uniform() - 0.5) * span);
+    if (wait < 1) wait = 1;
+  }
+  event_ = simulator_.schedule_in(wait, [this] { tick(); });
+}
+
+UdpSink::UdpSink(Host& host, std::uint16_t port) {
+  host.bind(port, [this](HostId src, const UdpDatagram& dgram,
+                         sim::SimTime when) {
+    ++received_;
+    bytes_ += dgram.payload.size();
+    last_ = when;
+    if (tap_) tap_(src, dgram);
+  });
+}
+
+}  // namespace hsfi::host

@@ -1,0 +1,94 @@
+// Workload generators: the campaign's "simple UDP packet generation
+// program" and its receiving counterpart.
+//
+// Paper §4.2: "Network loads were simulated using a simple UDP packet
+// generation program, running concurrently with the standard Unix ping
+// program with the flood option..." and §4.3.1: "The messages were UDP
+// packets designed in such a way that the symbol mask we corrupted did not
+// appear in the message itself."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "host/node.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace hsfi::host {
+
+/// Sends fixed-size datagrams to one destination at a fixed interval.
+class UdpFlood {
+ public:
+  struct Config {
+    HostId target = 0;
+    std::uint16_t src_port = 2048;
+    std::uint16_t dst_port = 9;  ///< discard-style sink
+    std::size_t payload_size = 64;
+    sim::Duration interval = sim::microseconds(100);
+    /// Byte the payload is filled with; chosen so the corrupted symbol mask
+    /// "did not appear in the message itself".
+    std::uint8_t fill = 0x5A;
+    /// 0 = run until stop().
+    std::uint64_t max_packets = 0;
+    /// Datagrams emitted back to back per tick ("full capacity" bursts that
+    /// collide at switch outputs and exercise STOP/GO flow control).
+    std::size_t burst_size = 1;
+    /// Uniform jitter applied to each tick, as a fraction of the interval,
+    /// so periodic flows do not phase-lock.
+    double jitter = 0.0;
+    std::uint64_t seed = 1;
+  };
+
+  UdpFlood(sim::Simulator& simulator, Host& host, Config config);
+  ~UdpFlood();
+
+  UdpFlood(const UdpFlood&) = delete;
+  UdpFlood& operator=(const UdpFlood&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& simulator_;
+  Host& host_;
+  Config config_;
+  bool running_ = false;
+  std::uint64_t sent_ = 0;
+  sim::EventId event_ = sim::kInvalidEventId;
+  sim::Rng rng_;
+};
+
+/// Binds a port and counts what arrives (the receiving message program).
+class UdpSink {
+ public:
+  UdpSink(Host& host, std::uint16_t port);
+
+  [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] sim::SimTime last_arrival() const noexcept { return last_; }
+  void reset() noexcept {
+    received_ = 0;
+    bytes_ = 0;
+    last_ = 0;
+  }
+
+  /// Optional tap on every delivery.
+  void on_receive(std::function<void(HostId, const UdpDatagram&)> tap) {
+    tap_ = std::move(tap);
+  }
+
+ private:
+  std::uint64_t received_ = 0;
+  std::uint64_t bytes_ = 0;
+  sim::SimTime last_ = 0;
+  std::function<void(HostId, const UdpDatagram&)> tap_;
+};
+
+}  // namespace hsfi::host

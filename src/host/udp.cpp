@@ -1,0 +1,60 @@
+#include "host/udp.hpp"
+
+namespace hsfi::host {
+
+std::uint16_t ones_complement_checksum(std::span<const std::uint8_t> bytes) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((bytes[i] << 8) | bytes[i + 1]);
+  }
+  if (i < bytes.size()) sum += static_cast<std::uint32_t>(bytes[i] << 8);
+  while ((sum >> 16) != 0) sum = (sum & 0xFFFF) + (sum >> 16);
+  const auto folded = static_cast<std::uint16_t>(~sum & 0xFFFF);
+  return folded == 0 ? 0xFFFF : folded;
+}
+
+std::vector<std::uint8_t> encode_udp(const UdpDatagram& dgram) {
+  std::vector<std::uint8_t> out;
+  const auto length =
+      static_cast<std::uint16_t>(kUdpHeaderSize + dgram.payload.size());
+  out.reserve(length);
+  out.push_back(static_cast<std::uint8_t>(dgram.src_port >> 8));
+  out.push_back(static_cast<std::uint8_t>(dgram.src_port & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(dgram.dst_port >> 8));
+  out.push_back(static_cast<std::uint8_t>(dgram.dst_port & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(length >> 8));
+  out.push_back(static_cast<std::uint8_t>(length & 0xFF));
+  out.push_back(0);  // checksum placeholder
+  out.push_back(0);
+  out.insert(out.end(), dgram.payload.begin(), dgram.payload.end());
+  const std::uint16_t sum = ones_complement_checksum(out);
+  out[6] = static_cast<std::uint8_t>(sum >> 8);
+  out[7] = static_cast<std::uint8_t>(sum & 0xFF);
+  return out;
+}
+
+UdpParseResult decode_udp(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kUdpHeaderSize) {
+    return {std::nullopt, UdpParseError::kTooShort};
+  }
+  const auto length = static_cast<std::uint16_t>((bytes[4] << 8) | bytes[5]);
+  if (length != bytes.size()) {
+    return {std::nullopt, UdpParseError::kBadLength};
+  }
+  // Verify: re-sum with the checksum field zeroed.
+  std::vector<std::uint8_t> copy(bytes.begin(), bytes.end());
+  const auto wire_sum = static_cast<std::uint16_t>((copy[6] << 8) | copy[7]);
+  copy[6] = 0;
+  copy[7] = 0;
+  if (ones_complement_checksum(copy) != wire_sum) {
+    return {std::nullopt, UdpParseError::kBadChecksum};
+  }
+  UdpDatagram d;
+  d.src_port = static_cast<std::uint16_t>((bytes[0] << 8) | bytes[1]);
+  d.dst_port = static_cast<std::uint16_t>((bytes[2] << 8) | bytes[3]);
+  d.payload.assign(bytes.begin() + kUdpHeaderSize, bytes.end());
+  return {std::move(d), std::nullopt};
+}
+
+}  // namespace hsfi::host

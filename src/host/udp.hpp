@@ -1,0 +1,58 @@
+// UDP datagrams with the 16-bit one's-complement checksum.
+//
+// Paper §4.3.4: "Since UDP uses a 16-bit one's complement checksum, corrupt
+// packets should be detected and dropped by the UDP layer. However, if the
+// fault is manifested in a way that also satisfies the checksum, the
+// incorrect packet should be passed through. Because the checksum is 16
+// bits, this can be done by swapping bits that are 16 bits apart."
+//
+// The aliasing property that campaign exploits — one's-complement addition
+// is commutative, so swapping two 16-bit-aligned words leaves the checksum
+// unchanged — holds for this implementation and is unit-tested.
+//
+// Header layout (8 bytes, big-endian, RFC 768 shape):
+//   src_port(2) dst_port(2) length(2) checksum(2), then the payload.
+// The checksum covers header (checksum field as zero) + payload; no
+// pseudo-header (addresses are protected by the enclosing data frame).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace hsfi::host {
+
+inline constexpr std::size_t kUdpHeaderSize = 8;
+inline constexpr std::uint16_t kEchoPort = 7;
+
+struct UdpDatagram {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// RFC 1071 one's-complement sum of 16-bit words (odd tail zero-padded),
+/// folded and complemented. 0x0000 results are transmitted as 0xFFFF.
+[[nodiscard]] std::uint16_t ones_complement_checksum(
+    std::span<const std::uint8_t> bytes);
+
+/// Serializes header + payload, filling in length and checksum.
+[[nodiscard]] std::vector<std::uint8_t> encode_udp(const UdpDatagram& dgram);
+
+enum class UdpParseError : std::uint8_t {
+  kTooShort,
+  kBadLength,
+  kBadChecksum,
+};
+
+struct UdpParseResult {
+  std::optional<UdpDatagram> datagram;  ///< set on success
+  std::optional<UdpParseError> error;   ///< set on failure
+};
+
+/// Validates length and checksum; returns the datagram or the reason it
+/// must be dropped.
+[[nodiscard]] UdpParseResult decode_udp(std::span<const std::uint8_t> bytes);
+
+}  // namespace hsfi::host

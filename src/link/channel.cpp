@@ -1,0 +1,42 @@
+#include "link/channel.hpp"
+
+#include <utility>
+
+namespace hsfi::link {
+
+Channel::Channel(sim::Simulator& simulator, std::string name,
+                 sim::Duration character_period,
+                 sim::Duration propagation_delay)
+    : simulator_(simulator),
+      name_(std::move(name)),
+      character_period_(character_period),
+      propagation_delay_(propagation_delay) {}
+
+sim::SimTime Channel::transmit(std::span<const Symbol> symbols) {
+  if (symbols.empty()) return simulator_.now();
+  const sim::SimTime start =
+      tx_free_at_ > simulator_.now() ? tx_free_at_ : simulator_.now();
+  const auto n = static_cast<sim::Duration>(symbols.size());
+  tx_free_at_ = start + character_period_ * n;
+  symbols_sent_ += symbols.size();
+
+  if (!connected_) {
+    symbols_lost_ += symbols.size();
+    return tx_free_at_;
+  }
+  if (sink_ == nullptr) return tx_free_at_;
+
+  Burst burst;
+  burst.start = start + propagation_delay_;
+  burst.period = character_period_;
+  burst.symbols.assign(symbols.begin(), symbols.end());
+
+  // Deliver when the *first* symbol's trailing edge arrives; the sink uses
+  // Burst::arrival() for per-symbol times within the burst.
+  SymbolSink* sink = sink_;
+  simulator_.schedule_at(burst.start + character_period_,
+                         [sink, b = std::move(burst)]() { sink->on_burst(b); });
+  return tx_free_at_;
+}
+
+}  // namespace hsfi::link

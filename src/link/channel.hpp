@@ -1,0 +1,120 @@
+// Point-to-point symbol channels.
+//
+// A Channel is one direction of a physical cable: it serializes symbols at
+// the channel's character period and delivers them, after the propagation
+// delay, as a Burst to the attached sink. Bursts (rather than one event per
+// character) keep long campaigns tractable; the Myrinet slack buffer exists
+// precisely to absorb the in-flight data this granularity implies (see
+// DESIGN.md section 4.1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "link/symbol.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace hsfi::link {
+
+/// A group of consecutive symbols on the wire. symbols[i] finishes arriving
+/// at `start + (i + 1) * period`.
+struct Burst {
+  sim::SimTime start = 0;      ///< arrival time of the first symbol's leading edge
+  sim::Duration period = 0;    ///< character period
+  std::vector<Symbol> symbols;
+
+  [[nodiscard]] sim::SimTime end() const noexcept {
+    return start + period * static_cast<sim::Duration>(symbols.size());
+  }
+  /// Arrival (completion) time of symbols[i].
+  [[nodiscard]] sim::SimTime arrival(std::size_t i) const noexcept {
+    return start + period * static_cast<sim::Duration>(i + 1);
+  }
+};
+
+/// Receiver interface for one channel direction.
+class SymbolSink {
+ public:
+  virtual ~SymbolSink() = default;
+  virtual void on_burst(const Burst& burst) = 0;
+};
+
+/// One direction of a cable.
+class Channel {
+ public:
+  /// `character_period` is the serialization time of one 9-bit character
+  /// (12.5 ns at 80 MB/s); `propagation_delay` models cable length
+  /// (~5 ns/m of copper).
+  Channel(sim::Simulator& simulator, std::string name,
+          sim::Duration character_period, sim::Duration propagation_delay);
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  void attach(SymbolSink& sink) noexcept { sink_ = &sink; }
+
+  /// Queues `symbols` for serialization. Transmission begins when the
+  /// transmitter is free (consecutive sends are serialized back to back).
+  /// Returns the time at which the last symbol finishes transmitting.
+  sim::SimTime transmit(std::span<const Symbol> symbols);
+  sim::SimTime transmit(Symbol symbol) { return transmit({&symbol, 1}); }
+
+  /// Earliest time a new transmission could start.
+  [[nodiscard]] sim::SimTime transmitter_free_at() const noexcept {
+    return tx_free_at_;
+  }
+
+  [[nodiscard]] sim::Duration character_period() const noexcept {
+    return character_period_;
+  }
+  [[nodiscard]] sim::Duration propagation_delay() const noexcept {
+    return propagation_delay_;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Total symbols ever accepted for transmission.
+  [[nodiscard]] std::uint64_t symbols_sent() const noexcept {
+    return symbols_sent_;
+  }
+
+  /// Simulates pulling the cable: while disconnected, transmitted symbols
+  /// vanish (and are counted). Reconnecting restores normal delivery.
+  void set_connected(bool connected) noexcept { connected_ = connected; }
+  [[nodiscard]] bool connected() const noexcept { return connected_; }
+  [[nodiscard]] std::uint64_t symbols_lost_disconnected() const noexcept {
+    return symbols_lost_;
+  }
+
+ private:
+  sim::Simulator& simulator_;
+  std::string name_;
+  sim::Duration character_period_;
+  sim::Duration propagation_delay_;
+  sim::SimTime tx_free_at_ = 0;
+  std::uint64_t symbols_sent_ = 0;
+  std::uint64_t symbols_lost_ = 0;
+  bool connected_ = true;
+  SymbolSink* sink_ = nullptr;
+};
+
+/// A full-duplex cable: two channels with shared parameters. End A transmits
+/// on a_to_b and receives from b_to_a; end B the reverse.
+class DuplexLink {
+ public:
+  DuplexLink(sim::Simulator& simulator, std::string name,
+             sim::Duration character_period, sim::Duration propagation_delay)
+      : a_to_b_(simulator, name + ".a>b", character_period, propagation_delay),
+        b_to_a_(simulator, name + ".b>a", character_period, propagation_delay) {}
+
+  [[nodiscard]] Channel& a_to_b() noexcept { return a_to_b_; }
+  [[nodiscard]] Channel& b_to_a() noexcept { return b_to_a_; }
+
+ private:
+  Channel a_to_b_;
+  Channel b_to_a_;
+};
+
+}  // namespace hsfi::link

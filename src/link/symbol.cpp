@@ -1,0 +1,29 @@
+#include "link/symbol.hpp"
+
+#include <array>
+
+namespace hsfi::link {
+
+namespace {
+constexpr std::array<char, 16> kHex = {'0', '1', '2', '3', '4', '5', '6', '7',
+                                       '8', '9', 'A', 'B', 'C', 'D', 'E', 'F'};
+}  // namespace
+
+std::string to_string(Symbol s) {
+  std::string out;
+  if (s.control) out += 'c';
+  out += kHex[(s.data >> 4) & 0xF];
+  out += kHex[s.data & 0xF];
+  return out;
+}
+
+std::string to_string(const std::vector<Symbol>& symbols) {
+  std::string out;
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += to_string(symbols[i]);
+  }
+  return out;
+}
+
+}  // namespace hsfi::link

@@ -1,0 +1,49 @@
+#include "myrinet/addr.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace hsfi::myrinet {
+
+std::string to_string(const EthAddr& a) {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02X:%02X:%02X:%02X:%02X:%02X", a.bytes[0],
+                a.bytes[1], a.bytes[2], a.bytes[3], a.bytes[4], a.bytes[5]);
+  return buf;
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_eth(std::vector<std::uint8_t>& out, const EthAddr& a) {
+  out.insert(out.end(), a.bytes.begin(), a.bytes.end());
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t offset) {
+  assert(offset + 2 <= in.size());
+  return static_cast<std::uint16_t>((in[offset] << 8) | in[offset + 1]);
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t offset) {
+  assert(offset + 8 <= in.size());
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) v = (v << 8) | in[offset + i];
+  return v;
+}
+
+EthAddr get_eth(std::span<const std::uint8_t> in, std::size_t offset) {
+  assert(offset + 6 <= in.size());
+  EthAddr a;
+  for (std::size_t i = 0; i < 6; ++i) a.bytes[i] = in[offset + i];
+  return a;
+}
+
+}  // namespace hsfi::myrinet

@@ -1,0 +1,54 @@
+// Addressing used across the Myrinet substrate and the host stack.
+//
+// "Each MCP on a network is given a unique 64-bit address" (paper §4.1) and
+// physical addresses "are 48-bit Ethernet addresses corresponding to
+// individual Myrinet ports" (paper §4.3.3).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hsfi::myrinet {
+
+/// 64-bit MCP (Myrinet Control Program) address. The MCP with the highest
+/// address on the network is the mapper ("controller").
+using McpAddress = std::uint64_t;
+
+/// 48-bit Ethernet-style physical address.
+struct EthAddr {
+  std::array<std::uint8_t, 6> bytes{};
+
+  friend constexpr auto operator<=>(const EthAddr&, const EthAddr&) = default;
+
+  [[nodiscard]] static constexpr EthAddr from_u64(std::uint64_t v) noexcept {
+    EthAddr a;
+    for (std::size_t i = 0; i < 6; ++i) {
+      a.bytes[5 - i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    return a;
+  }
+  [[nodiscard]] constexpr std::uint64_t to_u64() const noexcept {
+    std::uint64_t v = 0;
+    for (const auto b : bytes) v = (v << 8) | b;
+    return v;
+  }
+};
+
+[[nodiscard]] std::string to_string(const EthAddr& a);
+
+/// Little byte-stream helpers used by protocol encoders.
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
+void put_eth(std::vector<std::uint8_t>& out, const EthAddr& a);
+[[nodiscard]] std::uint16_t get_u16(std::span<const std::uint8_t> in,
+                                    std::size_t offset);
+[[nodiscard]] std::uint64_t get_u64(std::span<const std::uint8_t> in,
+                                    std::size_t offset);
+[[nodiscard]] EthAddr get_eth(std::span<const std::uint8_t> in,
+                              std::size_t offset);
+
+}  // namespace hsfi::myrinet

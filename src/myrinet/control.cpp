@@ -1,0 +1,37 @@
+#include "myrinet/control.hpp"
+
+namespace hsfi::myrinet {
+
+std::string_view to_string(ControlSymbol c) noexcept {
+  switch (c) {
+    case ControlSymbol::kIdle: return "IDLE";
+    case ControlSymbol::kGo: return "GO";
+    case ControlSymbol::kGap: return "GAP";
+    case ControlSymbol::kStop: return "STOP";
+  }
+  return "?";
+}
+
+std::optional<ControlSymbol> decode_control(std::uint8_t code) noexcept {
+  switch (code) {
+    // Exact codewords.
+    case 0x00: return ControlSymbol::kIdle;
+    case 0x03: return ControlSymbol::kGo;
+    case 0x0C: return ControlSymbol::kGap;
+    case 0x0F: return ControlSymbol::kStop;
+    // Single 1->0 drops of STOP (0b1111), plus the paper's 0x08 example.
+    case 0x0E:
+    case 0x0D:
+    case 0x0B:
+    case 0x07:
+    case 0x08: return ControlSymbol::kStop;
+    // Single 1->0 drop of GAP (0b1100). (0x08 is claimed by STOP above.)
+    case 0x04: return ControlSymbol::kGap;
+    // Single 1->0 drops of GO (0b0011).
+    case 0x02:
+    case 0x01: return ControlSymbol::kGo;
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace hsfi::myrinet

@@ -1,0 +1,45 @@
+// Myrinet control symbols and their drop-tolerant decoding.
+//
+// From the paper (§4.3.1): "STOP is represented as 0x0F, GO as 0x03 and GAP
+// as 0x0C", control symbols keep a pairwise Hamming distance of at least two,
+// and "symbols that suffer single 1 to 0 faults will still be detected
+// correctly -- for example, 0x08 will still be recognized as STOP, while 0x02
+// will be interpreted as GO."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "link/symbol.hpp"
+
+namespace hsfi::myrinet {
+
+enum class ControlSymbol : std::uint8_t {
+  kIdle = 0x00,  ///< keep-alive filler between meaningful symbols
+  kGo = 0x03,    ///< flow control: resume transmission
+  kGap = 0x0C,   ///< packet framing: previous symbol was the packet tail
+  kStop = 0x0F,  ///< flow control: pause transmission
+};
+
+[[nodiscard]] constexpr std::uint8_t encoding(ControlSymbol c) noexcept {
+  return static_cast<std::uint8_t>(c);
+}
+
+[[nodiscard]] constexpr link::Symbol to_symbol(ControlSymbol c) noexcept {
+  return link::control_symbol(encoding(c));
+}
+
+[[nodiscard]] std::string_view to_string(ControlSymbol c) noexcept;
+
+/// Decodes a received control character, tolerating 1->0 bit drops.
+///
+/// The decode table accepts every exact codeword, every single 1->0 drop of a
+/// codeword (0x0E/0x0D/0x0B/0x07 -> STOP; 0x04 -> GAP; 0x02/0x01 -> GO), plus
+/// the paper's explicitly stated 0x08 -> STOP (the paper gives 0x08 as an
+/// example of a code "still recognized as STOP"; we reproduce its table
+/// verbatim rather than derive one). Any other code is undecodable: the
+/// receiver ignores it, exactly like line noise on a real channel.
+[[nodiscard]] std::optional<ControlSymbol> decode_control(std::uint8_t code) noexcept;
+
+}  // namespace hsfi::myrinet

@@ -1,0 +1,54 @@
+#include "myrinet/flow_gate.hpp"
+
+#include <utility>
+
+namespace hsfi::myrinet {
+
+FlowGate::FlowGate(sim::Simulator& simulator, sim::Duration short_timeout,
+                   std::function<void()> on_resume)
+    : simulator_(simulator),
+      short_timeout_(short_timeout),
+      on_resume_(std::move(on_resume)) {}
+
+FlowGate::~FlowGate() { disarm_timeout(); }
+
+void FlowGate::on_flow(ControlSymbol c) {
+  switch (c) {
+    case ControlSymbol::kStop:
+      ++stops_;
+      open_ = false;
+      arm_timeout();
+      break;
+    case ControlSymbol::kGo:
+      ++gos_;
+      if (!open_) resume(/*by_timeout=*/false);
+      break;
+    case ControlSymbol::kIdle:
+    case ControlSymbol::kGap:
+      break;
+  }
+}
+
+void FlowGate::arm_timeout() {
+  disarm_timeout();
+  timeout_event_ = simulator_.schedule_in(short_timeout_, [this] {
+    timeout_event_ = sim::kInvalidEventId;
+    if (!open_) resume(/*by_timeout=*/true);
+  });
+}
+
+void FlowGate::disarm_timeout() {
+  if (timeout_event_ != sim::kInvalidEventId) {
+    simulator_.cancel(timeout_event_);
+    timeout_event_ = sim::kInvalidEventId;
+  }
+}
+
+void FlowGate::resume(bool by_timeout) {
+  open_ = true;
+  disarm_timeout();
+  if (by_timeout) ++timeout_resumes_;
+  if (on_resume_) on_resume_();
+}
+
+}  // namespace hsfi::myrinet

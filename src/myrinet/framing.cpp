@@ -1,0 +1,43 @@
+#include "myrinet/framing.hpp"
+
+#include <utility>
+
+namespace hsfi::myrinet {
+
+void Deframer::feed(link::Symbol symbol, sim::SimTime when) {
+  if (!symbol.control) {
+    current_.push_back(symbol.data);
+    return;
+  }
+  const auto decoded = decode_control(symbol.data);
+  if (!decoded) {
+    ++ignored_;
+    return;
+  }
+  switch (*decoded) {
+    case ControlSymbol::kIdle:
+      break;
+    case ControlSymbol::kGap:
+      if (!current_.empty()) {
+        ++frames_;
+        if (frame_handler_) frame_handler_(std::move(current_), when);
+        current_.clear();
+      }
+      break;
+    case ControlSymbol::kGo:
+    case ControlSymbol::kStop:
+      if (flow_handler_) flow_handler_(*decoded, when);
+      break;
+  }
+}
+
+std::vector<link::Symbol> frame_symbols(
+    std::span<const std::uint8_t> packet_bytes) {
+  std::vector<link::Symbol> symbols;
+  symbols.reserve(packet_bytes.size() + 1);
+  for (const auto b : packet_bytes) symbols.push_back(link::data_symbol(b));
+  symbols.push_back(to_symbol(ControlSymbol::kGap));
+  return symbols;
+}
+
+}  // namespace hsfi::myrinet

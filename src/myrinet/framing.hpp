@@ -1,0 +1,65 @@
+// Symbol-stream framing (paper Fig. 8).
+//
+// "Packets are separated by a GAP control symbol, which tells the Myrinet
+// interface that the previous packet was a packet tail... There can be any
+// positive number of GAP packets between data packets. However, GAP packets
+// are not allowed to appear within packets."
+//
+// The Deframer turns a symbol stream back into frames: data symbols
+// accumulate into the current frame; a GAP terminates a (non-empty) frame;
+// IDLE and undecodable control codes are transparent; GO/STOP are flow
+// control and reported to a separate handler, not framed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "link/symbol.hpp"
+#include "myrinet/control.hpp"
+#include "sim/time.hpp"
+
+namespace hsfi::myrinet {
+
+class Deframer {
+ public:
+  /// Called with the frame's bytes and the arrival time of its closing GAP.
+  using FrameHandler =
+      std::function<void(std::vector<std::uint8_t> frame, sim::SimTime when)>;
+  /// Called for flow-control symbols (GO/STOP) as they arrive.
+  using FlowHandler = std::function<void(ControlSymbol c, sim::SimTime when)>;
+
+  void on_frame(FrameHandler handler) { frame_handler_ = std::move(handler); }
+  void on_flow(FlowHandler handler) { flow_handler_ = std::move(handler); }
+
+  /// Feeds one received symbol with its arrival time.
+  void feed(link::Symbol symbol, sim::SimTime when);
+
+  /// Bytes accumulated in the (unterminated) current frame.
+  [[nodiscard]] std::size_t open_frame_size() const noexcept {
+    return current_.size();
+  }
+
+  /// Discards the current partial frame (used when an interface resets).
+  void abort_frame() { current_.clear(); }
+
+  // Counters for monitoring and tests.
+  [[nodiscard]] std::uint64_t frames_emitted() const noexcept { return frames_; }
+  [[nodiscard]] std::uint64_t ignored_control_codes() const noexcept {
+    return ignored_;
+  }
+
+ private:
+  std::vector<std::uint8_t> current_;
+  FrameHandler frame_handler_;
+  FlowHandler flow_handler_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t ignored_ = 0;
+};
+
+/// Serializes a packet's bytes plus its terminating GAP into symbols.
+[[nodiscard]] std::vector<link::Symbol> frame_symbols(
+    std::span<const std::uint8_t> packet_bytes);
+
+}  // namespace hsfi::myrinet

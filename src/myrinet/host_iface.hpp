@@ -1,0 +1,118 @@
+// Myrinet host interface (the paper's Fig. 7 LANai-style NIC, simplified).
+//
+// Transmit: packets queue in a finite send queue and are serialized in
+// chunks, pausing between chunks when the far end asserts STOP (the chunk
+// size bounds the data in flight after a STOP, playing the role of the
+// hardware's wire-side slack).
+//
+// Receive: the symbol stream is deframed at line rate; each completed frame
+// is CRC-checked and its marker byte validated ("If the packet reaches a
+// destination interface with the MSB set to one... consumed and handled as
+// an error"), then placed in a finite receive ring drained at host speed.
+// A frame arriving with the ring full is dropped and counted, like a real
+// NIC whose host buffers are exhausted; wire-level STOP/GO originates from
+// the switch's symbol-granularity slack buffers, not from the host ring.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "link/channel.hpp"
+#include "myrinet/flow_gate.hpp"
+#include "myrinet/framing.hpp"
+#include "myrinet/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace hsfi::myrinet {
+
+class HostInterface final : public link::SymbolSink {
+ public:
+  struct Config {
+    sim::Duration character_period = sim::picoseconds(12'500);
+    /// Sender-side STOP decay: 16 character periods.
+    sim::Duration short_timeout = sim::picoseconds(12'500) * 16;
+    std::size_t tx_queue_frames = 64;
+    std::size_t rx_ring_frames = 32;
+    /// Transmit chunk between flow-control checks, in symbols.
+    std::size_t chunk_symbols = 32;
+    std::size_t max_tx_ahead_chars = 64;
+    /// Host-side cost to consume one received frame (interrupt + stack).
+    sim::Duration rx_processing_time = sim::microseconds(20);
+  };
+
+  struct Stats {
+    std::uint64_t frames_sent = 0;        ///< fully serialized onto the wire
+    std::uint64_t tx_queue_drops = 0;     ///< send() refused, queue full
+    std::uint64_t frames_delivered = 0;   ///< handed to the host stack
+    std::uint64_t crc_errors = 0;
+    std::uint64_t marker_errors = 0;      ///< MSB-set marker, consumed as error
+    std::uint64_t too_short = 0;
+    std::uint64_t ring_overflows = 0;     ///< frame arrived with ring full
+  };
+
+  HostInterface(sim::Simulator& simulator, std::string name, Config config);
+  ~HostInterface() override;
+
+  HostInterface(const HostInterface&) = delete;
+  HostInterface& operator=(const HostInterface&) = delete;
+
+  /// `rx` carries symbols into this interface; `tx` carries symbols out.
+  void attach(link::Channel& rx, link::Channel& tx);
+
+  /// Queues a packet for transmission. Returns false (and counts a drop)
+  /// when the send queue is full.
+  bool send(const Packet& packet);
+  bool send_raw(std::vector<std::uint8_t> packet_bytes);
+
+  /// Handler for frames that pass CRC and marker checks, called at host
+  /// drain speed (one frame per rx_processing_time).
+  using DeliverHandler = std::function<void(Delivered frame, sim::SimTime when)>;
+  void on_deliver(DeliverHandler handler) { deliver_ = std::move(handler); }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t tx_backlog() const noexcept {
+    return tx_queue_.size() + (tx_offset_ < tx_current_.size() ? 1u : 0u);
+  }
+  [[nodiscard]] std::size_t rx_ring_size() const noexcept {
+    return rx_ring_.size();
+  }
+
+  /// Resets counters and queues to a known-good state between campaign runs.
+  void reset_for_campaign();
+
+  // link::SymbolSink
+  void on_burst(const link::Burst& burst) override;
+
+ private:
+  void pump_tx();
+  void schedule_pump_tx();
+  void handle_frame(std::vector<std::uint8_t> frame, sim::SimTime when);
+  void schedule_ring_drain();
+
+  sim::Simulator& simulator_;
+  std::string name_;
+  Config config_;
+  link::Channel* tx_ = nullptr;
+  FlowGate gate_;
+  Deframer deframer_;
+
+  // Transmit side.
+  std::deque<std::vector<std::uint8_t>> tx_queue_;
+  std::vector<link::Symbol> tx_current_;  // framed symbols of in-flight packet
+  std::size_t tx_offset_ = 0;
+  bool tx_pump_scheduled_ = false;
+
+  // Receive side.
+  std::deque<Delivered> rx_ring_;
+  bool rx_drain_scheduled_ = false;
+
+  DeliverHandler deliver_;
+  Stats stats_;
+};
+
+}  // namespace hsfi::myrinet

@@ -1,0 +1,73 @@
+#include "myrinet/mmon.hpp"
+
+#include <cstdio>
+
+namespace hsfi::myrinet {
+
+namespace {
+void appendf(std::string& out, const char* fmt, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  out += buf;
+}
+}  // namespace
+
+std::string render_map(const NetworkMap& map) {
+  std::string out;
+  out += "  port  mcp-address         physical-address\n";
+  if (map.empty()) {
+    out += "  (no nodes mapped)\n";
+    return out;
+  }
+  for (const auto& e : map) {
+    appendf(out, "  %-5u 0x%016llx  %s\n", static_cast<unsigned>(e.port),
+            static_cast<unsigned long long>(e.mcp),
+            to_string(e.eth).c_str());
+  }
+  return out;
+}
+
+std::string render_mcp_view(const Mcp& mcp) {
+  std::string out;
+  appendf(out, "mcp 0x%016llx on port %u (%s)\n",
+          static_cast<unsigned long long>(mcp.config().address),
+          static_cast<unsigned>(mcp.config().switch_port),
+          mcp.acting_controller() ? "controller" : "leaf");
+  out += render_map(mcp.network_map());
+  return out;
+}
+
+std::string render_interface(const HostInterface& nic) {
+  const auto& s = nic.stats();
+  std::string out;
+  appendf(out, "%s: sent=%llu delivered=%llu crc-err=%llu marker-err=%llu "
+               "ring-ovfl=%llu txq-drop=%llu short=%llu\n",
+          nic.name().c_str(), static_cast<unsigned long long>(s.frames_sent),
+          static_cast<unsigned long long>(s.frames_delivered),
+          static_cast<unsigned long long>(s.crc_errors),
+          static_cast<unsigned long long>(s.marker_errors),
+          static_cast<unsigned long long>(s.ring_overflows),
+          static_cast<unsigned long long>(s.tx_queue_drops),
+          static_cast<unsigned long long>(s.too_short));
+  return out;
+}
+
+std::string render_switch(const Switch& sw) {
+  std::string out;
+  appendf(out, "switch %s\n", sw.name().c_str());
+  out += "  port  routed  consumed  bad-route  long-tmo  slack-ovfl  stop  go\n";
+  for (std::size_t p = 0; p < sw.num_ports(); ++p) {
+    const auto s = sw.port_stats(p);
+    appendf(out, "  %-5zu %-7llu %-9llu %-10llu %-9llu %-11llu %-5llu %llu\n",
+            p, static_cast<unsigned long long>(s.packets_routed),
+            static_cast<unsigned long long>(s.packets_consumed),
+            static_cast<unsigned long long>(s.invalid_route),
+            static_cast<unsigned long long>(s.long_timeouts),
+            static_cast<unsigned long long>(s.slack_overflow),
+            static_cast<unsigned long long>(s.flow_stops_sent),
+            static_cast<unsigned long long>(s.flow_gos_sent));
+  }
+  return out;
+}
+
+}  // namespace hsfi::myrinet

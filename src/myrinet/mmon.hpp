@@ -1,0 +1,32 @@
+// mmon: the Myrinet monitoring view.
+//
+// The paper's campaigns watched "the status of the network and the
+// associated information (like routing tables and control registers)...
+// with the Myrinet monitoring program mmon". This module renders the same
+// views from the simulated network: the installed network map (used to
+// reproduce Fig. 11's before/after routing-table pictures) and per-port /
+// per-interface counters.
+#pragma once
+
+#include <string>
+
+#include "myrinet/host_iface.hpp"
+#include "myrinet/mcp.hpp"
+#include "myrinet/switch.hpp"
+
+namespace hsfi::myrinet {
+
+/// Renders a network map as an ASCII table, one row per known node.
+[[nodiscard]] std::string render_map(const NetworkMap& map);
+
+/// Renders the map a specific MCP currently believes in, with controller
+/// status — the paper's Fig. 11 view.
+[[nodiscard]] std::string render_mcp_view(const Mcp& mcp);
+
+/// Renders send/receive/error counters of a host interface.
+[[nodiscard]] std::string render_interface(const HostInterface& nic);
+
+/// Renders per-port forwarding and flow-control counters of a switch.
+[[nodiscard]] std::string render_switch(const Switch& sw);
+
+}  // namespace hsfi::myrinet

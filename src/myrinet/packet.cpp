@@ -1,0 +1,56 @@
+#include "myrinet/packet.hpp"
+
+namespace hsfi::myrinet {
+
+std::vector<std::uint8_t> serialize(const Packet& packet) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(packet.route.size() + 3 + packet.payload.size() + 1);
+  bytes.insert(bytes.end(), packet.route.begin(), packet.route.end());
+  bytes.push_back(packet.marker);
+  bytes.push_back(static_cast<std::uint8_t>(packet.type >> 8));
+  bytes.push_back(static_cast<std::uint8_t>(packet.type & 0xFF));
+  bytes.insert(bytes.end(), packet.payload.begin(), packet.payload.end());
+  bytes.push_back(crc8(bytes));
+  return bytes;
+}
+
+std::vector<link::Symbol> to_symbols(std::span<const std::uint8_t> bytes) {
+  std::vector<link::Symbol> symbols;
+  symbols.reserve(bytes.size());
+  for (const auto b : bytes) symbols.push_back(link::data_symbol(b));
+  return symbols;
+}
+
+std::string_view to_string(DeliveryStatus status) noexcept {
+  switch (status) {
+    case DeliveryStatus::kOk: return "ok";
+    case DeliveryStatus::kTooShort: return "too-short";
+    case DeliveryStatus::kCrcError: return "crc-error";
+    case DeliveryStatus::kMarkerError: return "marker-error";
+  }
+  return "?";
+}
+
+Delivered parse_delivered(std::span<const std::uint8_t> bytes) {
+  Delivered out;
+  if (bytes.size() < 4) {  // marker + 2-byte type + CRC
+    out.status = DeliveryStatus::kTooShort;
+    return out;
+  }
+  const auto body = bytes.first(bytes.size() - 1);
+  if (crc8(body) != bytes.back()) {
+    out.status = DeliveryStatus::kCrcError;
+    return out;
+  }
+  out.marker = bytes[0];
+  out.type = static_cast<std::uint16_t>((bytes[1] << 8) | bytes[2]);
+  if ((out.marker & kRouteMsb) != 0) {
+    out.status = DeliveryStatus::kMarkerError;
+    return out;
+  }
+  out.payload.assign(body.begin() + 3, body.end());
+  out.status = DeliveryStatus::kOk;
+  return out;
+}
+
+}  // namespace hsfi::myrinet

@@ -1,0 +1,88 @@
+// Myrinet packet format (paper Fig. 6).
+//
+// Wire layout, head to tail:
+//
+//   [route byte]*      one byte per switch hop; each switch strips the byte
+//                      it consumes and uses its low bits as the output port.
+//                      MSB = 1 means the next consumer is expected to be a
+//                      switch, MSB = 0 a host interface.
+//   [marker byte]      stripped by the destination host interface. Its MSB
+//                      must be 0; "If the packet reaches a destination
+//                      interface with the MSB set to one, the Myrinet
+//                      standard specifies that the packet be consumed and
+//                      handled as an error" (paper §4.3.2).
+//   [type, 2 bytes]    big-endian packet type. 0x0004 = data, 0x0005 =
+//                      mapping. (The paper says both "4-byte packet type"
+//                      and "the 16-bit hexadecimal string 0005"; every
+//                      concrete value it gives is 16-bit, so we use 2 bytes —
+//                      recorded in DESIGN.md.)
+//   [payload]*         arbitrary length.
+//   [CRC-8, 1 byte]    trailing CRC over every preceding byte, recomputed
+//                      (syndrome-preservingly) at each hop that strips bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "link/symbol.hpp"
+#include "myrinet/crc8.hpp"
+
+namespace hsfi::myrinet {
+
+inline constexpr std::uint16_t kTypeData = 0x0004;
+inline constexpr std::uint16_t kTypeMapping = 0x0005;
+
+inline constexpr std::uint8_t kRouteMsb = 0x80;
+inline constexpr std::uint8_t kRoutePortMask = 0x3F;
+
+/// Route byte directing a switch to forward out `port`, telling it the next
+/// hop is another switch.
+[[nodiscard]] constexpr std::uint8_t route_to_switch(std::uint8_t port) noexcept {
+  return static_cast<std::uint8_t>(kRouteMsb | (port & kRoutePortMask));
+}
+
+/// Route byte directing a switch to forward out `port`, next hop a host.
+[[nodiscard]] constexpr std::uint8_t route_to_host(std::uint8_t port) noexcept {
+  return static_cast<std::uint8_t>(port & kRoutePortMask);
+}
+
+/// A packet in its pre-serialization form.
+struct Packet {
+  std::vector<std::uint8_t> route;  ///< one byte per switch hop
+  std::uint8_t marker = 0x00;       ///< destination marker; MSB must be 0
+  std::uint16_t type = kTypeData;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes header + payload and appends the correct trailing CRC-8.
+[[nodiscard]] std::vector<std::uint8_t> serialize(const Packet& packet);
+
+/// Converts packet bytes into data symbols (no framing GAP appended).
+[[nodiscard]] std::vector<link::Symbol> to_symbols(
+    std::span<const std::uint8_t> bytes);
+
+enum class DeliveryStatus : std::uint8_t {
+  kOk,
+  kTooShort,      ///< fewer bytes than marker + type + CRC
+  kCrcError,      ///< trailing CRC does not match
+  kMarkerError,   ///< marker byte MSB set: "consumed and handled as an error"
+};
+
+[[nodiscard]] std::string_view to_string(DeliveryStatus status) noexcept;
+
+/// A frame as it arrives at a destination host interface (route fully
+/// stripped by switches: marker + type + payload + CRC remain).
+struct Delivered {
+  DeliveryStatus status = DeliveryStatus::kTooShort;
+  std::uint8_t marker = 0;
+  std::uint16_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Validates and parses a frame delivered to a host interface.
+[[nodiscard]] Delivered parse_delivered(std::span<const std::uint8_t> bytes);
+
+}  // namespace hsfi::myrinet

@@ -1,0 +1,69 @@
+#include "myrinet/slack_buffer.hpp"
+
+#include <utility>
+
+namespace hsfi::myrinet {
+
+SlackBuffer::SlackBuffer(sim::Simulator& simulator, Config config,
+                         std::function<void(ControlSymbol)> send_flow)
+    : simulator_(simulator),
+      config_(config),
+      send_flow_(std::move(send_flow)) {}
+
+SlackBuffer::~SlackBuffer() {
+  if (refresh_event_ != sim::kInvalidEventId) simulator_.cancel(refresh_event_);
+}
+
+bool SlackBuffer::push(link::Symbol symbol) {
+  if (queue_.size() >= config_.capacity) {
+    ++drops_;
+    // Overflow still matters for flow control: stay in stopped state.
+    after_occupancy_change();
+    return false;
+  }
+  queue_.push_back(symbol);
+  after_occupancy_change();
+  return true;
+}
+
+std::optional<link::Symbol> SlackBuffer::pop() {
+  if (queue_.empty()) return std::nullopt;
+  link::Symbol s = queue_.front();
+  queue_.pop_front();
+  after_occupancy_change();
+  return s;
+}
+
+void SlackBuffer::after_occupancy_change() {
+  if (!stopping_ && queue_.size() >= config_.high_watermark) {
+    stopping_ = true;
+    emit(ControlSymbol::kStop);
+    arm_refresh();
+  } else if (stopping_ && queue_.size() <= config_.low_watermark) {
+    stopping_ = false;
+    if (refresh_event_ != sim::kInvalidEventId) {
+      simulator_.cancel(refresh_event_);
+      refresh_event_ = sim::kInvalidEventId;
+    }
+    emit(ControlSymbol::kGo);
+  } else if (probe_) {
+    probe_(simulator_.now(), queue_.size(), std::nullopt);
+  }
+}
+
+void SlackBuffer::emit(ControlSymbol c) {
+  if (probe_) probe_(simulator_.now(), queue_.size(), c);
+  if (send_flow_) send_flow_(c);
+}
+
+void SlackBuffer::arm_refresh() {
+  if (config_.stop_refresh <= 0) return;
+  refresh_event_ = simulator_.schedule_in(config_.stop_refresh, [this] {
+    refresh_event_ = sim::kInvalidEventId;
+    if (!stopping_) return;
+    emit(ControlSymbol::kStop);
+    arm_refresh();
+  });
+}
+
+}  // namespace hsfi::myrinet

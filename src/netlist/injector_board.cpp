@@ -1,0 +1,150 @@
+#include "netlist/injector_board.hpp"
+
+#include <cstdio>
+
+namespace hsfi::netlist {
+
+namespace {
+
+Table1Row clck_gen() {
+  EntityModel m("Clck_gen");
+  m.counter("odd/even divider", 6);
+  m.registers("phase registers", 3);
+  m.fsm("phase control", 2, 3);
+  m.lut_logic("reset synchronizer", 2);
+  m.mux_bus("clock select", 1, 2);
+  return Table1Row{std::move(m), Resources{10, 15, 1, 11}, 1};
+}
+
+Table1Row comm() {
+  EntityModel m("Comm");
+  m.fsm("interrupt dispatch", 8, 24);
+  m.registers("byte buffers", 16);
+  m.registers("configuration flags", 7);
+  m.lut_logic("UART boot configuration", 30);
+  m.comparator("address decode", 16);
+  m.lut_logic("handshake logic", 24);
+  m.mux_bus("internal bus mux", 3, 4);
+  return Table1Row{std::move(m), Resources{94, 100, 9, 31}, 1};
+}
+
+Table1Row inst_dec() {
+  EntityModel m("Inst_dec");
+  // "The command decoder is a large finite-state machine (FSM)".
+  m.fsm("command FSM (one-hot)", 40, 110);
+  m.registers("ASCII line buffer (16 chars)", 128);
+  m.registers("token latch", 32);
+  m.registers("shadow configuration staging", 80);
+  m.comparator("keyword match", 64);
+  m.lut_logic("hex field parser", 60);
+  m.counter("field counter", 6);
+  m.mux_bus("operand select", 8, 3);
+  m.mux_bus("direction select", 1, 2);
+  return Table1Row{std::move(m), Resources{259, 275, 17, 286}, 1};
+}
+
+Table1Row out_gen() {
+  EntityModel m("Out_gen");
+  m.fsm("response FSM", 10, 40);
+  m.registers("character latch", 5);
+  m.lut_logic("ASCII formatting table", 28);
+  return Table1Row{std::move(m), Resources{78, 80, 0, 15}, 1};
+}
+
+Table1Row spi() {
+  EntityModel m("SPI");
+  m.registers("tx shift register", 16);
+  m.registers("rx shift register", 16);
+  m.counter("bit counter", 5);
+  m.registers("status flags", 5);
+  m.lut_logic("shift control", 50);
+  m.comparator("frame boundary detect", 16);
+  m.mux_bus("io select", 2, 4);
+  return Table1Row{std::move(m), Resources{66, 69, 6, 42}, 1};
+}
+
+Table1Row fifo_inject() {
+  EntityModel m("FIFO_Inject");
+  // One direction of the paper's Figs. 2/3 datapath; the row is doubled
+  // ("two instances of the FIFO injector were needed").
+  m.distributed_ram("dual-port FIFO RAM (36 x 64)", 36, 64,
+                    /*dual_port=*/true);
+  m.registers("compare window shift registers", 36);
+  m.registers("compare data + mask", 72);
+  m.registers("corrupt data + mask", 72);
+  m.registers("control sideband vectors", 16);
+  m.registers("inject pipeline (3 stages)", 108);
+  m.counter("write pointer", 6);
+  m.counter("read pointer", 6);
+  m.counter("match counter", 32);
+  m.counter("inject counter", 32);
+  m.comparator("masked window compare", 72);
+  m.lut_logic("toggle/replace corrupt network", 144);
+  m.lut_logic("CRC-8 repatch (dual running CRC)", 90);
+  m.lut_logic("trigger/once/inject-now control", 80);
+  m.lut_logic("framing tracker", 89);
+  m.lut_logic("drain control", 60);
+  m.fsm("phase control", 8, 20);
+  m.registers("status flags", 6);
+  m.mux_bus("corrupt write-back select", 36, 2);
+  m.mux_bus("inject source select", 31, 2);
+  return Table1Row{std::move(m), Resources{1768, 1800, 350, 788}, 2};
+}
+
+}  // namespace
+
+std::vector<Table1Row> injector_fpga_entities() {
+  std::vector<Table1Row> rows;
+  rows.push_back(clck_gen());
+  rows.push_back(comm());
+  rows.push_back(inst_dec());
+  rows.push_back(out_gen());
+  rows.push_back(spi());
+  rows.push_back(fifo_inject());
+  return rows;
+}
+
+Resources paper_table1_total() { return Resources{2275, 2339, 383, 1173}; }
+
+std::string render_table1(const std::vector<Table1Row>& rows) {
+  std::string out;
+  char buf[256];
+  const auto line = [&](const char* name, const Resources& est,
+                        const Resources& paper) {
+    const auto dev = [](std::int64_t e, std::int64_t p) {
+      return p == 0 ? 0.0
+                    : 100.0 * (static_cast<double>(e - p) /
+                               static_cast<double>(p));
+    };
+    std::snprintf(buf, sizeof buf,
+                  "%-12s %6lld %6lld %+6.1f%% | %6lld %6lld %+6.1f%% | "
+                  "%5lld %5lld %+6.1f%% | %6lld %6lld %+6.1f%%\n",
+                  name, static_cast<long long>(est.gates),
+                  static_cast<long long>(paper.gates),
+                  dev(est.gates, paper.gates),
+                  static_cast<long long>(est.function_generators),
+                  static_cast<long long>(paper.function_generators),
+                  dev(est.function_generators, paper.function_generators),
+                  static_cast<long long>(est.multiplexors),
+                  static_cast<long long>(paper.multiplexors),
+                  dev(est.multiplexors, paper.multiplexors),
+                  static_cast<long long>(est.d_flip_flops),
+                  static_cast<long long>(paper.d_flip_flops),
+                  dev(est.d_flip_flops, paper.d_flip_flops));
+    out += buf;
+  };
+  out +=
+      "Entity       gates (est/paper/dev) | funcgen (est/paper/dev) | "
+      "mux (est/paper/dev) | dff (est/paper/dev)\n";
+  Resources est_total;
+  Resources paper_total;
+  for (const auto& r : rows) {
+    line(r.model.name().c_str(), r.estimated(), r.paper);
+    est_total += r.estimated();
+    paper_total += r.paper;
+  }
+  line("Total", est_total, paper_total);
+  return out;
+}
+
+}  // namespace hsfi::netlist

@@ -1,0 +1,39 @@
+// Structural models of the six synthesized FPGA entities from the paper's
+// Table 1, built from the architecture §3.3 describes, plus the published
+// synthesis numbers for comparison.
+//
+// "The totals were calculated assuming that two instances of the FIFO
+// injector were needed" — `injector_fpga_entities` therefore returns the
+// FIFO injector row already doubled, like the paper's table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/resources.hpp"
+
+namespace hsfi::netlist {
+
+/// One Table 1 row: our structural estimate plus the paper's numbers.
+struct Table1Row {
+  EntityModel model;
+  Resources paper;
+  std::int64_t instances = 1;  ///< 2 for FIFO_Inject
+
+  [[nodiscard]] Resources estimated() const {
+    return model.total() * instances;
+  }
+};
+
+/// Builds all six entities (Clck_gen, Comm, Inst_dec, Out_gen, SPI,
+/// FIFO_Inject) in the paper's row order.
+[[nodiscard]] std::vector<Table1Row> injector_fpga_entities();
+
+/// The published totals row (gates 2275, FGs 2339, muxes 383, D-FFs 1173).
+[[nodiscard]] Resources paper_table1_total();
+
+/// Renders the side-by-side table (estimated vs published, with per-cell
+/// deviation) that bench_table1_synthesis prints.
+[[nodiscard]] std::string render_table1(const std::vector<Table1Row>& rows);
+
+}  // namespace hsfi::netlist

@@ -1,0 +1,56 @@
+#include "netlist/resources.hpp"
+
+namespace hsfi::netlist {
+
+void EntityModel::add(std::string block, Resources r) {
+  blocks_.push_back(Block{std::move(block), r});
+}
+
+void EntityModel::registers(std::string block, std::int64_t bits) {
+  add(std::move(block),
+      Resources{/*gates=*/bits / 8, /*fg=*/0, /*mux=*/0, /*dff=*/bits});
+}
+
+void EntityModel::counter(std::string block, std::int64_t bits) {
+  add(std::move(block), Resources{bits, bits, 0, bits});
+}
+
+void EntityModel::lut_logic(std::string block, std::int64_t luts) {
+  add(std::move(block), Resources{luts, luts, 0, 0});
+}
+
+void EntityModel::comparator(std::string block, std::int64_t bits) {
+  // (a XOR b) AND mask per pair of bits, then an AND-reduce on the carry
+  // chain (cheap in gate-equivalents).
+  const std::int64_t luts = bits / 2 + (bits + 7) / 8;
+  add(std::move(block), Resources{luts / 2, luts, 0, 0});
+}
+
+void EntityModel::mux_bus(std::string block, std::int64_t width,
+                          std::int64_t ways) {
+  const std::int64_t muxes = width * (ways > 1 ? ways - 1 : 0);
+  add(std::move(block), Resources{0, 0, muxes, 0});
+}
+
+void EntityModel::distributed_ram(std::string block, std::int64_t width,
+                                  std::int64_t depth, bool dual_port) {
+  const std::int64_t luts_per_bit = ((depth + 15) / 16) * (dual_port ? 2 : 1);
+  const std::int64_t luts = width * luts_per_bit;
+  // Address decode beyond 16 deep uses dedicated muxes.
+  const std::int64_t muxes = depth > 16 ? width * (depth / 16 - 1) : 0;
+  add(std::move(block), Resources{luts / 2, luts, muxes, 0});
+}
+
+void EntityModel::fsm(std::string block, std::int64_t states,
+                      std::int64_t output_luts) {
+  add(std::move(block),
+      Resources{states + output_luts, states + output_luts, 0, states});
+}
+
+Resources EntityModel::total() const {
+  Resources r;
+  for (const auto& b : blocks_) r += b.resources;
+  return r;
+}
+
+}  // namespace hsfi::netlist

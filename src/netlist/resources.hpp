@@ -1,0 +1,81 @@
+// FPGA resource accounting, in the units of the paper's Table 1:
+// gate equivalents, function generators (Virtex 4-input LUTs), dedicated
+// multiplexors, and D flip-flops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hsfi::netlist {
+
+struct Resources {
+  std::int64_t gates = 0;
+  std::int64_t function_generators = 0;
+  std::int64_t multiplexors = 0;
+  std::int64_t d_flip_flops = 0;
+
+  Resources& operator+=(const Resources& o) noexcept {
+    gates += o.gates;
+    function_generators += o.function_generators;
+    multiplexors += o.multiplexors;
+    d_flip_flops += o.d_flip_flops;
+    return *this;
+  }
+  friend Resources operator+(Resources a, const Resources& b) noexcept {
+    a += b;
+    return a;
+  }
+  friend Resources operator*(Resources r, std::int64_t n) noexcept {
+    r.gates *= n;
+    r.function_generators *= n;
+    r.multiplexors *= n;
+    r.d_flip_flops *= n;
+    return r;
+  }
+  friend bool operator==(const Resources&, const Resources&) = default;
+};
+
+/// A synthesized entity: a named collection of structural blocks.
+class EntityModel {
+ public:
+  explicit EntityModel(std::string name) : name_(std::move(name)) {}
+
+  /// Records a block with explicit resources.
+  void add(std::string block, Resources r);
+
+  // ---- structural primitives (Virtex-era cost model) ----
+  /// Plain register bank: n flip-flops plus clock-enable gating.
+  void registers(std::string block, std::int64_t bits);
+  /// Binary counter: increment logic is one LUT per bit.
+  void counter(std::string block, std::int64_t bits);
+  /// Random logic measured in 4-input LUTs (1 gate-equivalent each in the
+  /// table's accounting).
+  void lut_logic(std::string block, std::int64_t luts);
+  /// Masked equality comparator over `bits` with AND-reduction.
+  void comparator(std::string block, std::int64_t bits);
+  /// Data selector: width x (ways-1) dedicated MUX primitives.
+  void mux_bus(std::string block, std::int64_t width, std::int64_t ways);
+  /// LUT (distributed) RAM, 16 bits deep per LUT; dual-port doubles LUTs.
+  void distributed_ram(std::string block, std::int64_t width,
+                       std::int64_t depth, bool dual_port);
+  /// One-hot FSM: one flip-flop per state plus next-state/output logic.
+  void fsm(std::string block, std::int64_t states, std::int64_t output_luts);
+
+  [[nodiscard]] Resources total() const;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  struct Block {
+    std::string label;
+    Resources resources;
+  };
+  [[nodiscard]] const std::vector<Block>& blocks() const noexcept {
+    return blocks_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace hsfi::netlist

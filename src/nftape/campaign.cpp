@@ -1,0 +1,155 @@
+#include "nftape/campaign.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "host/traffic.hpp"
+#include "nftape/faults.hpp"
+
+namespace hsfi::nftape {
+
+struct CampaignRunner::Snapshot {
+  std::uint64_t udp_sent = 0;
+  std::uint64_t udp_delivered = 0;
+  std::uint64_t crc_errors = 0;
+  std::uint64_t marker_errors = 0;
+  std::uint64_t ring_overflows = 0;
+  std::uint64_t checksum_drops = 0;
+  std::uint64_t misaddressed = 0;
+  std::uint64_t unroutable = 0;
+  std::uint64_t unknown_type = 0;
+  std::uint64_t nic_tx_drops = 0;
+  std::uint64_t slack_overflow = 0;
+  std::uint64_t long_timeouts = 0;
+  std::uint64_t injections = 0;
+};
+
+CampaignRunner::Snapshot CampaignRunner::take_snapshot() const {
+  Snapshot s;
+  for (std::size_t i = 0; i < bed_.node_count(); ++i) {
+    const auto& hs = bed_.host(i).stats();
+    s.udp_sent += hs.udp_sent;
+    s.udp_delivered += hs.udp_delivered;
+    s.checksum_drops += hs.drop_bad_checksum + hs.drop_bad_length;
+    s.misaddressed += hs.drop_misaddressed;
+    s.unroutable += hs.drop_unroutable + hs.drop_unknown_peer;
+    s.unknown_type += hs.drop_unknown_type;
+    const auto& ns = bed_.nic(i).stats();
+    s.crc_errors += ns.crc_errors;
+    s.marker_errors += ns.marker_errors;
+    s.ring_overflows += ns.ring_overflows;
+    s.nic_tx_drops += ns.tx_queue_drops;
+  }
+  auto& sw = bed_.network_switch();
+  for (std::size_t p = 0; p < sw.num_ports(); ++p) {
+    const auto ps = sw.port_stats(p);
+    s.slack_overflow += ps.slack_overflow;
+    s.long_timeouts += ps.long_timeouts;
+  }
+  if (bed_.config().with_injector) {
+    s.injections +=
+        bed_.injector().fifo_stats(core::Direction::kLeftToRight).injections;
+    s.injections +=
+        bed_.injector().fifo_stats(core::Direction::kRightToLeft).injections;
+  }
+  return s;
+}
+
+CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
+  bed_.reset_to_known_good();
+
+  // Program the fault. The serial path is the authentic NFTAPE control
+  // loop; the direct path is available for unit tests.
+  const auto program = [this, &spec](core::Direction dir,
+                                     const core::InjectorConfig& cfg) {
+    if (spec.program_via_serial) {
+      for (const auto& cmd : to_serial_commands(cfg, dir)) {
+        bed_.control().send_command(cmd);
+      }
+    } else {
+      bed_.injector().apply(dir, cfg);
+    }
+  };
+  core::InjectorConfig off;  // match mode kOff
+  program(core::Direction::kLeftToRight,
+          spec.fault_to_switch.value_or(off));
+  program(core::Direction::kRightToLeft,
+          spec.fault_from_switch.value_or(off));
+  // Let the serial exchange (and anything in flight) finish.
+  bed_.settle(sim::milliseconds(30));
+
+  // Workload: every node floods its peers; every node sinks the port.
+  std::vector<std::unique_ptr<host::UdpSink>> sinks;
+  std::vector<std::unique_ptr<host::UdpFlood>> floods;
+  for (std::size_t i = 0; i < bed_.node_count(); ++i) {
+    sinks.push_back(
+        std::make_unique<host::UdpSink>(bed_.host(i), spec.workload.port));
+  }
+  for (std::size_t i = 0; i < bed_.node_count(); ++i) {
+    for (std::size_t j = 0; j < bed_.node_count(); ++j) {
+      if (i == j) continue;
+      if (!spec.workload.all_to_all && !(i < 2 && j < 2)) continue;
+      host::UdpFlood::Config fc;
+      fc.target = static_cast<host::HostId>(j + 1);
+      fc.dst_port = spec.workload.port;
+      fc.src_port = static_cast<std::uint16_t>(3000 + i * 16 + j);
+      fc.payload_size = spec.workload.payload_size;
+      fc.fill = spec.workload.payload_fill;
+      fc.interval = spec.workload.udp_interval;
+      fc.burst_size = spec.workload.burst_size;
+      fc.jitter = spec.workload.jitter;
+      fc.seed = 100 + i * 8 + j;
+      floods.push_back(
+          std::make_unique<host::UdpFlood>(bed_.sim(), bed_.host(i), fc));
+    }
+  }
+  for (auto& f : floods) f->start();
+
+  bed_.settle(spec.warmup);
+  const Snapshot before = take_snapshot();
+  bed_.settle(spec.duration);
+  for (auto& f : floods) f->stop();
+  bed_.settle(spec.drain);
+  const Snapshot after = take_snapshot();
+
+  // Disarm the injector for whoever runs next. Only the match mode is
+  // touched: re-sending a whole zeroed configuration would pass through a
+  // state with the old mode still armed and an all-match compare mask.
+  if (spec.program_via_serial) {
+    bed_.control().send_command("MODE L OFF");
+    bed_.control().send_command("MODE R OFF");
+  } else {
+    for (const auto dir :
+         {core::Direction::kLeftToRight, core::Direction::kRightToLeft}) {
+      auto cfg = bed_.injector().config(dir);
+      cfg.match_mode = core::MatchMode::kOff;
+      bed_.injector().apply(dir, cfg);
+    }
+  }
+  // Give the network time to re-map so the next campaign starts from a
+  // known good state even if this fault damaged the routing tables.
+  bed_.settle(sim::milliseconds(30));
+  const sim::Duration recovery =
+      bed_.config().map_period + bed_.config().map_reply_window;
+  bed_.settle(recovery);
+
+  CampaignResult r;
+  r.name = spec.name;
+  r.window = spec.duration + spec.drain;
+  r.messages_sent = after.udp_sent - before.udp_sent;
+  r.messages_received = after.udp_delivered - before.udp_delivered;
+  r.link_crc_errors = after.crc_errors - before.crc_errors;
+  r.marker_errors = after.marker_errors - before.marker_errors;
+  r.ring_overflows = after.ring_overflows - before.ring_overflows;
+  r.udp_checksum_drops = after.checksum_drops - before.checksum_drops;
+  r.misaddressed_drops = after.misaddressed - before.misaddressed;
+  r.unroutable_drops = after.unroutable - before.unroutable;
+  r.unknown_type_drops = after.unknown_type - before.unknown_type;
+  r.nic_tx_drops = after.nic_tx_drops - before.nic_tx_drops;
+  r.slack_overflow = after.slack_overflow - before.slack_overflow;
+  r.long_timeouts = after.long_timeouts - before.long_timeouts;
+  r.injections = after.injections - before.injections;
+  return r;
+}
+
+}  // namespace hsfi::nftape

@@ -1,0 +1,102 @@
+// NFTAPE-style campaign automation.
+//
+// "the system-level impact of faults can be evaluated in an automated
+// fashion employing the proposed fault injection hardware and an external
+// management and control framework, such as one provided by the network
+// fault-tolerance and performance evaluator (NFTAPE)" (paper §1).
+//
+// A CampaignSpec bundles the fault (injector configuration per direction),
+// the workload ("a simple UDP packet generation program" on every node),
+// and the measurement window. "To ensure the repeatability of the
+// experiments, each campaign began with the network in a known good state"
+// — the runner resets the testbed before every run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/injector_config.hpp"
+#include "nftape/testbed.hpp"
+#include "sim/time.hpp"
+
+namespace hsfi::nftape {
+
+struct WorkloadSpec {
+  /// Per-sender datagram interval ("the network was operating at full
+  /// capacity and every node was running a message-sending program").
+  sim::Duration udp_interval = sim::microseconds(500);
+  std::size_t payload_size = 64;
+  std::uint8_t payload_fill = 0x5A;
+  bool all_to_all = true;  ///< false: only node 0 <-> node 1
+  std::uint16_t port = 9;
+  /// Burstiness (see host::UdpFlood::Config): bursts collide at switch
+  /// outputs and engage STOP/GO flow control, the paper's "network
+  /// operating at full capacity".
+  std::size_t burst_size = 1;
+  double jitter = 0.0;
+};
+
+struct CampaignSpec {
+  std::string name;
+  /// Fault programmed into the node->switch direction (left-to-right).
+  std::optional<core::InjectorConfig> fault_to_switch;
+  /// Fault programmed into the switch->node direction (right-to-left).
+  std::optional<core::InjectorConfig> fault_from_switch;
+  /// Program the device over the simulated RS-232 link (as NFTAPE did)
+  /// instead of poking the model directly.
+  bool program_via_serial = true;
+  sim::Duration warmup = sim::milliseconds(20);
+  sim::Duration duration = sim::milliseconds(1000);
+  sim::Duration drain = sim::milliseconds(20);
+  WorkloadSpec workload;
+};
+
+struct CampaignResult {
+  std::string name;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  sim::Duration window = 0;
+
+  // Failure breakdown over the window.
+  std::uint64_t link_crc_errors = 0;     ///< dropped by NIC CRC-8
+  std::uint64_t marker_errors = 0;
+  std::uint64_t ring_overflows = 0;
+  std::uint64_t udp_checksum_drops = 0;
+  std::uint64_t misaddressed_drops = 0;
+  std::uint64_t unroutable_drops = 0;
+  std::uint64_t unknown_type_drops = 0;
+  std::uint64_t nic_tx_drops = 0;
+  std::uint64_t slack_overflow = 0;      ///< switch symbol loss
+  std::uint64_t long_timeouts = 0;
+  std::uint64_t injections = 0;          ///< injector fire count
+
+  [[nodiscard]] double loss_rate() const {
+    if (messages_sent == 0) return 0.0;
+    const auto lost = messages_sent > messages_received
+                          ? messages_sent - messages_received
+                          : 0;
+    return static_cast<double>(lost) / static_cast<double>(messages_sent);
+  }
+  [[nodiscard]] double messages_per_second() const {
+    const double secs = sim::to_seconds(window);
+    return secs > 0 ? static_cast<double>(messages_received) / secs : 0.0;
+  }
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(Testbed& bed) : bed_(bed) {}
+
+  /// Resets to the known good state, programs the fault, applies the
+  /// workload for the measurement window, and collects the result.
+  CampaignResult run(const CampaignSpec& spec);
+
+ private:
+  struct Snapshot;
+  Snapshot take_snapshot() const;
+
+  Testbed& bed_;
+};
+
+}  // namespace hsfi::nftape

@@ -1,0 +1,188 @@
+#include "nftape/faults.hpp"
+
+#include <cstdio>
+
+namespace hsfi::nftape {
+
+using core::CorruptMode;
+using core::InjectorConfig;
+using core::MatchMode;
+using myrinet::ControlSymbol;
+
+core::InjectorConfig control_symbol_corruption(ControlSymbol from,
+                                               ControlSymbol to) {
+  InjectorConfig cfg;
+  cfg.match_mode = MatchMode::kOn;
+  cfg.corrupt_mode = CorruptMode::kReplace;
+  cfg.compare_data = myrinet::encoding(from);
+  cfg.compare_mask = 0x000000FF;
+  cfg.compare_ctl = 0x1;  // lane 0 must be a control character
+  cfg.compare_ctl_mask = 0x1;
+  cfg.corrupt_data = myrinet::encoding(to);
+  cfg.corrupt_mask = 0x000000FF;
+  // The replacement stays a control character; no repatch — control
+  // symbols live outside frames and a repatch would launder the framing
+  // damage the campaign is meant to produce.
+  cfg.crc_repatch = false;
+  // Word-granular compare, like the real device: only symbols landing on
+  // the matched lane alignment are corrupted (about one in four).
+  cfg.compare_stride = 4;
+  return cfg;
+}
+
+core::InjectorConfig packet_type_corruption(std::uint16_t match_type,
+                                            std::uint16_t new_type) {
+  InjectorConfig cfg;
+  cfg.match_mode = MatchMode::kOn;
+  cfg.corrupt_mode = CorruptMode::kReplace;
+  // Window: [marker 0x00][type hi][type lo][first payload byte, any] —
+  // anchored at the frame head. (A GAP anchor would miss packets preceded
+  // by idle wire time, since idles displace the GAP from the window.)
+  cfg.compare_data = (static_cast<std::uint32_t>(match_type >> 8) << 16) |
+                     ((match_type & 0xFFu) << 8);
+  cfg.compare_mask = 0xFFFFFF00;
+  cfg.compare_ctl = 0x0;
+  cfg.compare_ctl_mask = 0xF;
+  cfg.corrupt_data = (static_cast<std::uint32_t>(new_type >> 8) << 16) |
+                     ((new_type & 0xFFu) << 8);
+  cfg.corrupt_mask = 0x00FFFF00;
+  cfg.crc_repatch = true;
+  return cfg;
+}
+
+core::InjectorConfig marker_msb_corruption() {
+  InjectorConfig cfg;
+  cfg.match_mode = MatchMode::kOn;
+  cfg.corrupt_mode = CorruptMode::kReplace;
+  // Window: [marker 0x00][type 0x00][type 0x04][dst-eth byte 0x00] — the
+  // head of a data frame; the marker is the oldest lane.
+  cfg.compare_data = 0x00000400;
+  cfg.compare_mask = 0xFFFFFFFF;
+  cfg.compare_ctl = 0x0;
+  cfg.compare_ctl_mask = 0xF;
+  cfg.corrupt_data = 0x80000000;  // set the marker's MSB
+  cfg.corrupt_mask = 0x80000000;
+  cfg.crc_repatch = true;
+  return cfg;
+}
+
+core::InjectorConfig destination_eth_corruption(std::uint8_t old_low,
+                                                std::uint8_t new_low) {
+  InjectorConfig cfg;
+  cfg.match_mode = MatchMode::kOn;
+  cfg.corrupt_mode = CorruptMode::kReplace;
+  // Tail of the OUI-prefixed destination address: [CC][00][00][old_low].
+  cfg.compare_data = 0xCC000000u | old_low;
+  cfg.compare_mask = 0xFFFFFFFF;
+  cfg.compare_ctl = 0x0;
+  cfg.compare_ctl_mask = 0xF;
+  cfg.corrupt_data = new_low;
+  cfg.corrupt_mask = 0x000000FF;
+  cfg.crc_repatch = false;  // the point: the CRC-8 catches it
+  return cfg;
+}
+
+core::InjectorConfig sender_eth_corruption(std::uint8_t old_src_low,
+                                           host::HostId dst_id,
+                                           host::HostId src_id,
+                                           std::uint8_t new_src_low) {
+  InjectorConfig cfg;
+  cfg.match_mode = MatchMode::kOn;
+  cfg.corrupt_mode = CorruptMode::kReplace;
+  // Window: [src-eth low][dst_id][src_id][proto=UDP] — only data frames
+  // from src_id to dst_id have this shape.
+  cfg.compare_data = (static_cast<std::uint32_t>(old_src_low) << 24) |
+                     (static_cast<std::uint32_t>(dst_id) << 16) |
+                     (static_cast<std::uint32_t>(src_id) << 8) |
+                     static_cast<std::uint32_t>(host::Proto::kUdp);
+  cfg.compare_mask = 0xFFFFFFFF;
+  cfg.compare_ctl = 0x0;
+  cfg.compare_ctl_mask = 0xF;
+  cfg.corrupt_data = static_cast<std::uint32_t>(new_src_low) << 24;
+  cfg.corrupt_mask = 0xFF000000;
+  cfg.crc_repatch = true;  // the frame must arrive valid to poison learning
+  return cfg;
+}
+
+core::InjectorConfig mcp_reply_address_corruption(std::uint8_t old_hi,
+                                                  std::uint8_t old_lo,
+                                                  std::uint8_t new_lo) {
+  InjectorConfig cfg;
+  cfg.match_mode = MatchMode::kOn;
+  cfg.corrupt_mode = CorruptMode::kReplace;
+  // The middle of the 64-bit MCP address in a reply: [00][00][hi][lo].
+  cfg.compare_data = (static_cast<std::uint32_t>(old_hi) << 8) |
+                     static_cast<std::uint32_t>(old_lo);
+  cfg.compare_mask = 0xFFFFFFFF;
+  cfg.compare_ctl = 0x0;
+  cfg.compare_ctl_mask = 0xF;
+  cfg.corrupt_data = new_lo;
+  cfg.corrupt_mask = 0x000000FF;
+  cfg.crc_repatch = true;
+  return cfg;
+}
+
+core::InjectorConfig udp_word_swap_have_to_veha() {
+  InjectorConfig cfg;
+  cfg.match_mode = MatchMode::kOn;
+  cfg.corrupt_mode = CorruptMode::kReplace;
+  cfg.compare_data = 0x48617665;  // "Have"
+  cfg.compare_mask = 0xFFFFFFFF;
+  cfg.compare_ctl = 0x0;
+  cfg.compare_ctl_mask = 0xF;
+  cfg.corrupt_data = 0x76654861;  // "veHa"
+  cfg.corrupt_mask = 0xFFFFFFFF;
+  cfg.crc_repatch = true;  // link layer must accept; only UDP could object
+  return cfg;
+}
+
+core::InjectorConfig random_bit_flip_seu(std::uint16_t lfsr_mask) {
+  InjectorConfig cfg;
+  cfg.match_mode = MatchMode::kOn;
+  cfg.corrupt_mode = CorruptMode::kToggle;
+  cfg.compare_mask = 0;      // every window is a candidate...
+  cfg.compare_ctl_mask = 0;
+  cfg.lfsr_mask = lfsr_mask; // ...thinned by the random trigger
+  cfg.corrupt_data = 0x00000001;  // single-bit upset in the newest lane
+  cfg.crc_repatch = false;
+  return cfg;
+}
+
+core::InjectorConfig udp_payload_bit_flip() {
+  InjectorConfig cfg;
+  cfg.match_mode = MatchMode::kOn;
+  cfg.corrupt_mode = CorruptMode::kToggle;
+  cfg.compare_data = 0x48617665;  // "Have"
+  cfg.compare_mask = 0xFFFFFFFF;
+  cfg.compare_ctl = 0x0;
+  cfg.compare_ctl_mask = 0xF;
+  cfg.corrupt_data = 0x00400000;  // 'a' -> '!' style single-bit damage
+  cfg.crc_repatch = true;
+  return cfg;
+}
+
+std::vector<std::string> to_serial_commands(const core::InjectorConfig& cfg,
+                                            core::Direction dir) {
+  const char* d = dir == core::Direction::kLeftToRight ? "L" : "R";
+  char buf[64];
+  std::vector<std::string> out;
+  const auto add = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    out.emplace_back(buf);
+  };
+  add("CORR %s %s", d, std::string(to_string(cfg.corrupt_mode)).c_str());
+  add("CMPD %s %08X", d, cfg.compare_data);
+  add("CMPM %s %08X", d, cfg.compare_mask);
+  add("CMPC %s %X %X", d, cfg.compare_ctl & 0xF, cfg.compare_ctl_mask & 0xF);
+  add("CORD %s %08X", d, cfg.corrupt_data);
+  add("CORM %s %08X", d, cfg.corrupt_mask);
+  add("CORC %s %X %X", d, cfg.corrupt_ctl & 0xF, cfg.corrupt_ctl_mask & 0xF);
+  add("CMPS %s %u", d, static_cast<unsigned>(cfg.compare_stride));
+  add("LFSR %s %04X", d, static_cast<unsigned>(cfg.lfsr_mask));
+  add("CRCR %s %s", d, cfg.crc_repatch ? "ON" : "OFF");
+  // MODE last so the trigger arms only once everything else is programmed.
+  add("MODE %s %s", d, std::string(to_string(cfg.match_mode)).c_str());
+  return out;
+}
+
+}  // namespace hsfi::nftape

@@ -1,0 +1,82 @@
+// Fault specifications: canned injector configurations for every campaign
+// in the paper's §4, expressed as the compare/corrupt vectors the real
+// device would be programmed with over RS-232.
+//
+// Window convention (see core/injector_config.hpp): lane 0 (bits [7:0]) is
+// the newest character, lane 3 the oldest; the control sideband bit i
+// guards lane i.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/device.hpp"
+#include "core/injector_config.hpp"
+#include "host/frame.hpp"
+#include "myrinet/control.hpp"
+
+namespace hsfi::nftape {
+
+/// Table 4: corrupt every occurrence of control symbol `from` into `to`.
+/// Anchored on the control sideband so payload bytes that happen to equal
+/// the code are untouched.
+[[nodiscard]] core::InjectorConfig control_symbol_corruption(
+    myrinet::ControlSymbol from, myrinet::ControlSymbol to);
+
+/// §4.3.2: corrupt the 16-bit packet type of frames whose type is
+/// `match_type` into `new_type`. The match is frame-anchored: the window
+/// must hold [GAP][marker][type-hi][type-lo]. CRC is repatched so only the
+/// type corruption survives.
+[[nodiscard]] core::InjectorConfig packet_type_corruption(
+    std::uint16_t match_type, std::uint16_t new_type);
+
+/// §4.3.2 source-route corruption: set the destination marker's MSB so the
+/// interface must consume the packet "and handle it as an error".
+/// Frame-anchored on [GAP][marker]; CRC repatched.
+[[nodiscard]] core::InjectorConfig marker_msb_corruption();
+
+/// §4.3.3 destination corruption: rewrite the low byte of the destination
+/// physical address (tail window [CC 00 00 <old_low>]) to `new_low`,
+/// *without* CRC repatch — the receiving interface must see "the incorrect
+/// CRC-8" and drop.
+[[nodiscard]] core::InjectorConfig destination_eth_corruption(
+    std::uint8_t old_low, std::uint8_t new_low);
+
+/// §4.3.3 sender's-address corruption: rewrite the low byte of the source
+/// physical address in data frames from host `src_id` to host `dst_id`.
+/// The window anchors on [src-eth-low][dst_id][src_id][proto] so mapping
+/// replies carrying the same address bytes are NOT touched. CRC repatched:
+/// the frame must arrive valid so the receiver *learns* the wrong address.
+[[nodiscard]] core::InjectorConfig sender_eth_corruption(
+    std::uint8_t old_src_low, host::HostId dst_id, host::HostId src_id,
+    std::uint8_t new_src_low);
+
+/// §4.3.3 MCP-address corruption (controller-duplication / non-existent
+/// address): rewrite the low byte of the 64-bit MCP address inside mapping
+/// replies. Window [mcp4 mcp5 mcp6 mcp7] = [00 00 <hi> <lo>]. CRC
+/// repatched so the mapper accepts the reply.
+[[nodiscard]] core::InjectorConfig mcp_reply_address_corruption(
+    std::uint8_t old_hi, std::uint8_t old_lo, std::uint8_t new_lo);
+
+/// §4.3.4 UDP aliasing: replace the 32-bit window "Have" with "veHa" — a
+/// swap of two 16-bit words that the UDP one's-complement checksum cannot
+/// see. CRC-8 repatched so the link layer accepts the frame too.
+[[nodiscard]] core::InjectorConfig udp_word_swap_have_to_veha();
+
+/// §3.1 random SEU campaign: uniformly random single-bit flips on the
+/// stream at roughly one per `2^popcount(mask)+1` characters, driven by
+/// the device's 16-bit LFSR. No CRC repatch — SEUs are raw transmission
+/// faults the link layer is supposed to catch.
+[[nodiscard]] core::InjectorConfig random_bit_flip_seu(std::uint16_t lfsr_mask);
+
+/// §4.3.4 control case: a non-aliased payload corruption (single byte),
+/// CRC-8 repatched — only the UDP checksum can (and must) catch it.
+[[nodiscard]] core::InjectorConfig udp_payload_bit_flip();
+
+/// Serial command lines that program `config` into direction `dir` —
+/// campaigns drive the device exactly like NFTAPE drove the real one.
+[[nodiscard]] std::vector<std::string> to_serial_commands(
+    const core::InjectorConfig& config, core::Direction dir);
+
+}  // namespace hsfi::nftape

@@ -1,0 +1,83 @@
+#include "nftape/report.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace hsfi::nftape {
+
+std::string cell(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+namespace {
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::size_t columns = header.size();
+  for (const auto& r : rows) columns = std::max(columns, r.size());
+  std::vector<std::size_t> widths(columns, 0);
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    widths[c] = std::max(widths[c], header[c].size());
+  }
+  for (const auto& r : rows) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  return widths;
+}
+}  // namespace
+
+std::string Report::render() const {
+  std::string out = "== " + title_ + " ==\n";
+  const auto widths = column_widths(header_, rows_);
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : "";
+      out += v;
+      out.append(widths[c] > v.size() ? widths[c] - v.size() + 2 : 2, ' ');
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (const auto w : widths) total += w + 2;
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  for (const auto& n : notes_) out += "note: " + n + "\n";
+  return out;
+}
+
+std::string Report::markdown() const {
+  std::string out = "### " + title_ + "\n\n";
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    out += '|';
+    for (const auto& v : cells) {
+      out += ' ';
+      out += v;
+      out += " |";
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    out += '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) out += "---|";
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  out += '\n';
+  for (const auto& n : notes_) out += "_note: " + n + "_\n";
+  return out;
+}
+
+}  // namespace hsfi::nftape

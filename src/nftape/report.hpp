@@ -1,0 +1,38 @@
+// Plain-text/markdown table rendering for campaign reports — the output
+// side of the NFTAPE-style collector, used by every bench binary to print
+// the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hsfi::nftape {
+
+class Report {
+ public:
+  explicit Report(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> columns) {
+    header_ = std::move(columns);
+  }
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+  void add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+  /// Column-aligned plain text with the title and notes.
+  [[nodiscard]] std::string render() const;
+  /// GitHub-style markdown table.
+  [[nodiscard]] std::string markdown() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+/// printf-style cell helper.
+[[nodiscard]] std::string cell(const char* fmt, ...);
+
+}  // namespace hsfi::nftape

@@ -1,0 +1,104 @@
+#include "nftape/testbed.hpp"
+
+#include <string>
+
+namespace hsfi::nftape {
+
+Testbed::Testbed(TestbedConfig config)
+    : config_([&config] {
+        config.switch_config.character_period = config.character_period;
+        config.nic_config.character_period = config.character_period;
+        config.injector_config.character_period = config.character_period;
+        return config;
+      }()),
+      switch_(sim_, "sw0", config_.switch_config) {
+  for (std::size_t i = 0; i < config_.nodes; ++i) {
+    auto node = std::make_unique<Node>();
+    const std::string tag = std::to_string(i);
+    const bool spliced = config_.with_injector && i == config_.injected_node;
+
+    node->cable = std::make_unique<link::DuplexLink>(
+        sim_, "cable" + tag, config_.character_period, config_.cable_delay);
+    node->nic = std::make_unique<myrinet::HostInterface>(sim_, "nic" + tag,
+                                                         config_.nic_config);
+    // Node side: end A of the first cable segment.
+    node->nic->attach(/*rx=*/node->cable->b_to_a(),
+                      /*tx=*/node->cable->a_to_b());
+
+    if (spliced) {
+      node->cable2 = std::make_unique<link::DuplexLink>(
+          sim_, "cable" + tag + "b", config_.character_period,
+          config_.cable_delay);
+      injector_ =
+          std::make_unique<core::InjectorDevice>(sim_, "fi0",
+                                                 config_.injector_config);
+      // Device between the two segments: left = node, right = switch.
+      injector_->attach_left(/*rx=*/node->cable->a_to_b(),
+                             /*tx=*/node->cable->b_to_a());
+      injector_->attach_right(/*rx=*/node->cable2->b_to_a(),
+                              /*tx=*/node->cable2->a_to_b());
+      switch_.attach_port(i, /*rx=*/node->cable2->a_to_b(),
+                          /*tx=*/node->cable2->b_to_a());
+    } else {
+      switch_.attach_port(i, /*rx=*/node->cable->a_to_b(),
+                          /*tx=*/node->cable->b_to_a());
+    }
+
+    host::Host::Config hc;
+    hc.id = static_cast<host::HostId>(i + 1);
+    hc.eth = eth_of(i);
+    hc.mcp_address = mcp_of(i);
+    hc.switch_port = static_cast<std::uint8_t>(i);
+    hc.switch_ports = switch_.num_ports();
+    hc.send_stack_time = config_.send_stack_time;
+    hc.boot_offset_span = config_.host_boot_offset_span;
+    hc.map_period = config_.map_period;
+    hc.map_reply_window = config_.map_reply_window;
+    hc.clock = config_.host_clock;
+    hc.seed = config_.seed + i;
+    node->host = std::make_unique<host::Host>(sim_, *node->nic, hc);
+    nodes_.push_back(std::move(node));
+  }
+
+  if (config_.with_injector) {
+    uart_ = std::make_unique<core::Uart>(sim_);
+    comm_ = std::make_unique<core::CommHandler>(sim_, *uart_, *injector_);
+    control_ = std::make_unique<core::SerialControlHost>(sim_, *uart_);
+  }
+}
+
+Testbed::~Testbed() = default;
+
+void Testbed::start() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t j = 0; j < nodes_.size(); ++j) {
+      if (i == j) continue;
+      nodes_[i]->host->seed_peer(static_cast<host::HostId>(j + 1), eth_of(j));
+    }
+    nodes_[i]->host->start(sim::microseconds(137 * static_cast<std::int64_t>(i + 1)));
+  }
+}
+
+void Testbed::settle(sim::Duration span) {
+  sim_.run_until(sim_.now() + span);
+}
+
+void Testbed::set_trace(sim::TraceLog* trace) {
+  switch_.set_trace(trace);
+  for (auto& node : nodes_) node->host->mcp().set_trace(trace);
+  if (injector_) injector_->set_trace(trace);
+}
+
+void Testbed::reset_to_known_good() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->host->clear_stats();
+    nodes_[i]->nic->reset_for_campaign();
+    for (std::size_t j = 0; j < nodes_.size(); ++j) {
+      if (i == j) continue;
+      nodes_[i]->host->seed_peer(static_cast<host::HostId>(j + 1), eth_of(j));
+    }
+  }
+  if (injector_) injector_->clear_stats();
+}
+
+}  // namespace hsfi::nftape

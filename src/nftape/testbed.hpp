@@ -1,0 +1,118 @@
+// The Fig. 10 testbed: hosts, an 8-port Myrinet switch, and the fault
+// injector spliced into one host's link, with its RS-232 control path.
+//
+// "Fault injections were performed on a three-node network consisting of
+// one PC... two SUN UltraSPARC workstations..., and an 8-port Myrinet
+// switch. Each node had a 1.2+1.2 Gbps host interface card installed."
+// (paper §4.1). The injector sits between the switch and one node, exactly
+// where the paper's photographs place it, and is configured at run time
+// over the simulated serial link — the role NFTAPE's control host played.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/command_plane.hpp"
+#include "core/device.hpp"
+#include "core/uart.hpp"
+#include "host/node.hpp"
+#include "link/channel.hpp"
+#include "myrinet/host_iface.hpp"
+#include "myrinet/switch.hpp"
+#include "sim/simulator.hpp"
+
+namespace hsfi::nftape {
+
+struct TestbedConfig {
+  std::size_t nodes = 3;
+  /// Which node's link carries the injector (Fig. 10 splices one link).
+  std::size_t injected_node = 0;
+  bool with_injector = true;
+
+  /// 80 MB/s character period; the paper quotes its timeout arithmetic at
+  /// this rate. (The cards are 1.28 Gb/s full duplex = 160 MB/s; use
+  /// character_period_for_mbytes(160) to run the links at card speed.)
+  sim::Duration character_period = sim::picoseconds(12'500);
+  sim::Duration cable_delay = sim::nanoseconds(5);  ///< per segment, ~1 m
+
+  myrinet::Switch::Config switch_config = {};
+  myrinet::HostInterface::Config nic_config = {};
+  core::InjectorDevice::Config injector_config = {};
+
+  sim::Duration send_stack_time = sim::microseconds(5);
+  /// See host::Host::Config::boot_offset_span (Table 2 noise model).
+  sim::Duration host_boot_offset_span = 0;
+  sim::Duration map_period = sim::milliseconds(1000);
+  sim::Duration map_reply_window = sim::milliseconds(10);
+  host::HostClock::Params host_clock = {};
+  std::uint64_t seed = 1;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  /// Deterministic per-node addressing: node i lives on switch port i with
+  /// physical address 00:A0:CC:00:00:<i+1> and MCP address 0x2000 + i*0x10
+  /// (so the highest-numbered node wins the mapper election).
+  [[nodiscard]] static myrinet::EthAddr eth_of(std::size_t node) {
+    return myrinet::EthAddr::from_u64(0x00A0CC000000ULL + node + 1);
+  }
+  [[nodiscard]] static myrinet::McpAddress mcp_of(std::size_t node) {
+    return 0x2000 + static_cast<myrinet::McpAddress>(node) * 0x10;
+  }
+
+  /// Seeds every host's peer cache (the "known good state") and starts MCP
+  /// mapping with staggered phases.
+  void start();
+
+  /// Runs the simulation forward by `span`.
+  void settle(sim::Duration span);
+
+  /// Clears host/NIC/injector statistics (between campaign runs) and
+  /// re-seeds the peer caches.
+  void reset_to_known_good();
+
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] host::Host& host(std::size_t i) { return *nodes_.at(i)->host; }
+  [[nodiscard]] myrinet::HostInterface& nic(std::size_t i) {
+    return *nodes_.at(i)->nic;
+  }
+  [[nodiscard]] myrinet::Switch& network_switch() noexcept { return switch_; }
+
+  /// The spliced injector (with_injector must be set).
+  [[nodiscard]] core::InjectorDevice& injector() { return *injector_; }
+  /// The external system's serial handle to the injector.
+  [[nodiscard]] core::SerialControlHost& control() { return *control_; }
+  [[nodiscard]] const TestbedConfig& config() const noexcept { return config_; }
+
+  /// Attaches an event trace to the switch, every MCP, and the injector.
+  void set_trace(sim::TraceLog* trace);
+
+ private:
+  struct Node {
+    /// Cable from the node toward the switch (or toward the injector).
+    std::unique_ptr<link::DuplexLink> cable;
+    /// Second segment (injector to switch) for the injected node.
+    std::unique_ptr<link::DuplexLink> cable2;
+    std::unique_ptr<myrinet::HostInterface> nic;
+    std::unique_ptr<host::Host> host;
+  };
+
+  TestbedConfig config_;
+  sim::Simulator sim_;
+  myrinet::Switch switch_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<core::InjectorDevice> injector_;
+  std::unique_ptr<core::Uart> uart_;
+  std::unique_ptr<core::CommHandler> comm_;
+  std::unique_ptr<core::SerialControlHost> control_;
+};
+
+}  // namespace hsfi::nftape

@@ -1,0 +1,43 @@
+#include "phy/serdes.hpp"
+
+namespace hsfi::phy {
+
+FcWireStream FcSerdes::encode(std::span<const link::Symbol> symbols,
+                              fc::Disparity start) {
+  FcWireStream wire;
+  wire.initial_rd = start;
+  wire.groups.reserve(symbols.size());
+  fc::Disparity rd = start;
+  for (const auto s : symbols) {
+    const auto enc = fc::encode_8b10b(fc::Char8{s.data, s.control}, rd);
+    if (!enc) continue;  // unencodable K character: dropped by the PHY
+    wire.groups.push_back(enc->code);
+    rd = enc->rd;
+  }
+  return wire;
+}
+
+FcDecodedStream FcSerdes::decode(const FcWireStream& wire) {
+  FcDecodedStream out;
+  out.symbols.reserve(wire.groups.size());
+  fc::Disparity rd = wire.initial_rd;
+  for (const auto g : wire.groups) {
+    const auto dec = fc::decode_8b10b(g, rd);
+    rd = dec.rd;
+    if (dec.code_violation) {
+      ++out.code_violations;
+      continue;
+    }
+    if (dec.disparity_error) ++out.disparity_errors;
+    out.symbols.push_back(
+        link::Symbol{dec.character.value, dec.character.is_k});
+  }
+  return out;
+}
+
+void flip_wire_bit(FcWireStream& wire, std::size_t index, unsigned bit) {
+  if (index >= wire.groups.size() || bit > 9) return;
+  wire.groups[index] ^= static_cast<std::uint16_t>(1u << bit);
+}
+
+}  // namespace hsfi::phy

@@ -1,0 +1,61 @@
+// PHY transceiver models.
+//
+// "The injector can function on standard interfaces because commercially
+// available physical interface chips (PHYs) are used as transceivers...
+// COTS transceivers enable internal operation on standard CMOS levels
+// regardless of voltage levels used on the network level" (paper §3.2).
+//
+// MyriPhy: Myrinet characters travel as 9-bit NRZ groups; the PHY is an
+// (de)serializer with a fixed latency — behavior-neutral, so it is modeled
+// as a latency constant folded into the injector device.
+//
+// FcSerdes: the Fibre Channel PHY 8b/10b-encodes the decoded-character
+// domain onto the wire. Encoding/decoding here is exact, so wire-level bit
+// faults manifest as code violations and disparity errors — the FC-side
+// error surface a fault-injection campaign observes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fc/enc8b10b.hpp"
+#include "link/symbol.hpp"
+#include "sim/time.hpp"
+
+namespace hsfi::phy {
+
+/// Fixed pass-through latency of the Myrinet PHY pair ("the Myricom FI3
+/// chips (which is unknown)" — a few character times).
+inline constexpr sim::Duration kMyriPhyLatency = sim::nanoseconds(25);
+
+/// A serialized Fibre Channel wire segment: 10-bit groups plus the
+/// disparity the stream started from.
+struct FcWireStream {
+  fc::Disparity initial_rd = fc::Disparity::kMinus;
+  std::vector<std::uint16_t> groups;
+};
+
+struct FcDecodedStream {
+  std::vector<link::Symbol> symbols;
+  std::uint64_t code_violations = 0;
+  std::uint64_t disparity_errors = 0;
+};
+
+class FcSerdes {
+ public:
+  /// Serializes decoded characters (control flag = K flag) to the wire.
+  [[nodiscard]] static FcWireStream encode(
+      std::span<const link::Symbol> symbols,
+      fc::Disparity start = fc::Disparity::kMinus);
+
+  /// Deserializes a wire stream; corrupted groups are dropped from the
+  /// symbol output and counted.
+  [[nodiscard]] static FcDecodedStream decode(const FcWireStream& wire);
+};
+
+/// Flips bit `bit` (0..9) of group `index` on the wire — a single-bit
+/// transmission fault below the character layer.
+void flip_wire_bit(FcWireStream& wire, std::size_t index, unsigned bit);
+
+}  // namespace hsfi::phy

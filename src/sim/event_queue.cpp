@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace hsfi::sim {
+
+EventId EventQueue::schedule(SimTime when, Action action) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{when, id, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  pending_.insert(id);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  // Erasing from pending_ is all that is needed: entries whose id is no
+  // longer pending are skipped when they surface at the heap front.
+  pending_.erase(id);
+}
+
+void EventQueue::drop_cancelled_front() {
+  while (!heap_.empty() && !pending_.contains(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled_front();
+  assert(!heap_.empty());
+  return heap_.front().when;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_front();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(e.id);
+  return Fired{e.when, e.id, std::move(e.action)};
+}
+
+}  // namespace hsfi::sim

@@ -1,0 +1,69 @@
+// Deterministic discrete-event queue.
+//
+// Events at equal timestamps are delivered in scheduling order (a strictly
+// increasing sequence number breaks ties), so a simulation run is a pure
+// function of its inputs and seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hsfi::sim {
+
+/// Handle used to cancel a scheduled event. Cancellation is lazy: the entry
+/// stays in the heap but is discarded when it reaches the front.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `when` and returns its id.
+  EventId schedule(SimTime when, Action action);
+
+  /// Cancels a pending event. Cancelling an already-fired, already-cancelled,
+  /// or invalid id is a no-op.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+
+  /// Time of the earliest live event. Precondition: !empty().
+  [[nodiscard]] SimTime next_time();
+
+  struct Fired {
+    SimTime when = 0;
+    EventId id = kInvalidEventId;
+    Action action;
+  };
+
+  /// Removes and returns the earliest live event. Precondition: !empty().
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime when = 0;
+    EventId id = kInvalidEventId;
+    Action action;
+  };
+
+  static bool later(const Entry& a, const Entry& b) noexcept {
+    if (a.when != b.when) return a.when > b.when;
+    return a.id > b.id;
+  }
+
+  /// Pops cancelled entries off the front of the heap.
+  void drop_cancelled_front();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;  // ids scheduled and not yet fired/cancelled
+  EventId next_id_ = 1;
+};
+
+}  // namespace hsfi::sim

@@ -1,0 +1,31 @@
+#include "sim/log.hpp"
+
+namespace hsfi::sim {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::string TraceLog::render() const {
+  std::string out;
+  for (const auto& r : records_) {
+    out += '[';
+    out += format_time(r.when);
+    out += "] ";
+    out += to_string(r.level);
+    out += ' ';
+    out += r.component;
+    out += ": ";
+    out += r.message;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hsfi::sim

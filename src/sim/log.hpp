@@ -1,0 +1,69 @@
+// Lightweight trace logging for simulation entities.
+//
+// A TraceLog collects (time, component, message) records. Benches and tests
+// either disable it (default) or attach it to entities whose behavior they
+// want to trace; examples print it. This replaces scattered stdout writes so
+// simulation output is deterministic and testable.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hsfi::sim {
+
+enum class LogLevel : std::uint8_t { kTrace, kInfo, kWarn, kError };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+struct LogRecord {
+  SimTime when = 0;
+  LogLevel level = LogLevel::kInfo;
+  std::string component;
+  std::string message;
+};
+
+class TraceLog {
+ public:
+  /// Records below `threshold` are discarded at the call site.
+  explicit TraceLog(LogLevel threshold = LogLevel::kInfo) noexcept
+      : threshold_(threshold) {}
+
+  void set_threshold(LogLevel threshold) noexcept { threshold_ = threshold; }
+  [[nodiscard]] LogLevel threshold() const noexcept { return threshold_; }
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= threshold_;
+  }
+
+  void add(SimTime when, LogLevel level, std::string component,
+           std::string message) {
+    if (!enabled(level)) return;
+    records_.push_back(
+        LogRecord{when, level, std::move(component), std::move(message)});
+    if (sink_) sink_(records_.back());
+  }
+
+  /// Optional live sink (e.g. print-to-stderr in examples).
+  void set_sink(std::function<void(const LogRecord&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  [[nodiscard]] const std::vector<LogRecord>& records() const noexcept {
+    return records_;
+  }
+  void clear() noexcept { records_.clear(); }
+
+  /// Renders all records as "[time] LEVEL component: message" lines.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  LogLevel threshold_;
+  std::vector<LogRecord> records_;
+  std::function<void(const LogRecord&)> sink_;
+};
+
+}  // namespace hsfi::sim

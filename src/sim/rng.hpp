@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// PCG32 (O'Neill, pcg-random.org, minimal variant): small state, excellent
+// statistical quality, and fully reproducible across platforms, which matters
+// for campaign repeatability ("each campaign began with the network in a
+// known good state").
+#pragma once
+
+#include <cstdint>
+
+namespace hsfi::sim {
+
+class Rng {
+ public:
+  /// Seeds the generator. Distinct streams with the same seed never collide.
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0) noexcept
+      : state_(0), inc_((stream << 1u) | 1u) {
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  std::uint32_t below(std::uint32_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Debiased modulo (Lemire-style rejection).
+    const std::uint32_t threshold = (0u - bound) % bound;
+    for (;;) {
+      const std::uint32_t r = next_u32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    if (hi <= lo) return lo;
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Split into two 32-bit draws only when the span requires it.
+    if (span <= 0xFFFFFFFFull) {
+      return lo + static_cast<std::int64_t>(below(static_cast<std::uint32_t>(span)));
+    }
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace hsfi::sim

@@ -1,0 +1,68 @@
+// The simulation scheduler.
+//
+// A Simulator owns the event queue and the simulated clock. Entities capture
+// a Simulator& and schedule callbacks; the main loop pops events in time
+// order and advances the clock. Single-threaded by design (CP.1 does not
+// apply inside the deterministic core; campaign-level parallelism, if any,
+// runs whole simulations per thread).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace hsfi::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `action` to run `delay` picoseconds from now (delay >= 0;
+  /// negative delays are clamped to zero to keep time monotone).
+  EventId schedule_in(Duration delay, EventQueue::Action action) {
+    return queue_.schedule(now_ + (delay > 0 ? delay : 0), std::move(action));
+  }
+
+  /// Schedules `action` at absolute time `when` (clamped to now()).
+  EventId schedule_at(SimTime when, EventQueue::Action action) {
+    return queue_.schedule(when > now_ ? when : now_, std::move(action));
+  }
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs until the queue drains or the clock passes `until`.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(SimTime until);
+
+  /// Runs until the queue drains.
+  std::uint64_t run() { return run_until(std::numeric_limits<SimTime>::max()); }
+
+  /// Executes at most one event. Returns false if the queue was empty or the
+  /// next event lies beyond `until` (clock is then advanced to `until`).
+  bool step(SimTime until = std::numeric_limits<SimTime>::max());
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() noexcept { stop_requested_ = true; }
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace hsfi::sim

@@ -1,0 +1,24 @@
+#include "sim/time.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace hsfi::sim {
+
+std::string format_time(SimTime t) {
+  std::array<char, 64> buf{};
+  const double abs_t = t < 0 ? -static_cast<double>(t) : static_cast<double>(t);
+  int n = 0;
+  if (abs_t >= static_cast<double>(kSecond)) {
+    n = std::snprintf(buf.data(), buf.size(), "%.6g s", to_seconds(t));
+  } else if (abs_t >= static_cast<double>(kMillisecond)) {
+    n = std::snprintf(buf.data(), buf.size(), "%.6g ms", to_milliseconds(t));
+  } else if (abs_t >= static_cast<double>(kMicrosecond)) {
+    n = std::snprintf(buf.data(), buf.size(), "%.6g us", to_microseconds(t));
+  } else {
+    n = std::snprintf(buf.data(), buf.size(), "%.6g ns", to_nanoseconds(t));
+  }
+  return std::string(buf.data(), n > 0 ? static_cast<std::size_t>(n) : 0);
+}
+
+}  // namespace hsfi::sim

@@ -1,0 +1,54 @@
+// Simulation time types.
+//
+// All simulation time is kept as a signed 64-bit count of picoseconds.
+// Picosecond resolution is needed because Myrinet character periods are
+// fractional in nanoseconds (6.25 ns at 160 MB/s); a signed 64-bit count
+// still covers ~106 days of simulated time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hsfi::sim {
+
+/// A point in simulated time, in picoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in picoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kPicosecond = 1;
+inline constexpr Duration kNanosecond = 1'000;
+inline constexpr Duration kMicrosecond = 1'000'000;
+inline constexpr Duration kMillisecond = 1'000'000'000;
+inline constexpr Duration kSecond = 1'000'000'000'000;
+
+constexpr Duration picoseconds(std::int64_t n) { return n; }
+constexpr Duration nanoseconds(std::int64_t n) { return n * kNanosecond; }
+constexpr Duration microseconds(std::int64_t n) { return n * kMicrosecond; }
+constexpr Duration milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr Duration seconds(std::int64_t n) { return n * kSecond; }
+
+constexpr double to_nanoseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kNanosecond);
+}
+constexpr double to_microseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+constexpr double to_milliseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Duration of one transmitted character at a byte rate of `mbytes_per_s`.
+/// Myrinet at 80 MB/s => 12.5 ns; at 160 MB/s => 6.25 ns.
+constexpr Duration character_period_for_mbytes(std::int64_t mbytes_per_s) {
+  return kSecond / (mbytes_per_s * 1'000'000);
+}
+
+/// Human-readable rendering, e.g. "12.5 ns", "1.28 ms", for logs and reports.
+std::string format_time(SimTime t);
+
+}  // namespace hsfi::sim

@@ -1,0 +1,179 @@
+// Tests for the serial command plane: UART pacing, SPI framing, command
+// decoding, acknowledgments, and live reconfiguration of the injector.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/command_plane.hpp"
+#include "core/device.hpp"
+#include "core/uart.hpp"
+#include "sim/simulator.hpp"
+
+namespace hsfi::core {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  InjectorDevice device{sim, "fi0", {}};
+  Uart uart{sim};
+  CommHandler comm{sim, uart, device};
+  SerialControlHost host{sim, uart};
+
+  std::vector<std::string> run_command(const std::string& line) {
+    std::vector<std::string> got;
+    host.send_command(line,
+                      [&got](std::vector<std::string> lines) { got = lines; });
+    sim.run();
+    return got;
+  }
+};
+
+TEST(CommandPlaneTest, PingPong) {
+  Rig rig;
+  const auto lines = rig.run_command("PING");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "PONG");
+  EXPECT_EQ(lines[1], "OK");
+}
+
+TEST(CommandPlaneTest, SpiFrameHelpers) {
+  const auto f = spi_frame(0xA5);
+  EXPECT_TRUE(spi_frame_valid(f));
+  EXPECT_EQ(spi_frame_data(f), 0xA5);
+  EXPECT_FALSE(spi_frame_valid(0x00A5));
+}
+
+TEST(CommandPlaneTest, ConfiguresCompareAndCorruptVectors) {
+  Rig rig;
+  rig.run_command("CMPD L 00001818");
+  rig.run_command("CMPM L 0000FFFF");
+  rig.run_command("CORD L 00001918");
+  rig.run_command("CORM L 0000FFFF");
+  rig.run_command("CORR L REPLACE");
+  rig.run_command("CMPC L 0 3");
+  const auto lines = rig.run_command("MODE L ON");
+  EXPECT_EQ(lines.back(), "OK");
+
+  const auto& cfg = rig.device.config(Direction::kLeftToRight);
+  EXPECT_EQ(cfg.compare_data, 0x00001818u);
+  EXPECT_EQ(cfg.compare_mask, 0x0000FFFFu);
+  EXPECT_EQ(cfg.corrupt_data, 0x00001918u);
+  EXPECT_EQ(cfg.corrupt_mask, 0x0000FFFFu);
+  EXPECT_EQ(cfg.corrupt_mode, CorruptMode::kReplace);
+  EXPECT_EQ(cfg.match_mode, MatchMode::kOn);
+  EXPECT_EQ(cfg.compare_ctl_mask, 0x3);
+  // The other direction is untouched.
+  EXPECT_EQ(rig.device.config(Direction::kRightToLeft).match_mode,
+            MatchMode::kOff);
+}
+
+TEST(CommandPlaneTest, CrcRepatchToggle) {
+  Rig rig;
+  rig.run_command("CRCR R ON");
+  EXPECT_TRUE(rig.device.config(Direction::kRightToLeft).crc_repatch);
+  rig.run_command("CRCR R OFF");
+  EXPECT_FALSE(rig.device.config(Direction::kRightToLeft).crc_repatch);
+}
+
+TEST(CommandPlaneTest, UnknownCommandAnswersErr) {
+  Rig rig;
+  const auto lines = rig.run_command("FROB L 1");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("ERR", 0), 0u);
+}
+
+TEST(CommandPlaneTest, MalformedArgumentsAnswerErr) {
+  Rig rig;
+  EXPECT_EQ(rig.run_command("CMPD L XYZ").back().rfind("ERR", 0), 0u);
+  EXPECT_EQ(rig.run_command("CMPD X 00000000").back().rfind("ERR", 0), 0u);
+  EXPECT_EQ(rig.run_command("MODE L SIDEWAYS").back().rfind("ERR", 0), 0u);
+  EXPECT_EQ(rig.run_command("CMPD L").back().rfind("ERR", 0), 0u);
+  EXPECT_EQ(rig.run_command("CMPC L 5 GG").back().rfind("ERR", 0), 0u);
+}
+
+TEST(CommandPlaneTest, ErrorsDoNotDisturbConfiguration) {
+  Rig rig;
+  rig.run_command("CMPD L 12345678");
+  rig.run_command("CMPD L NOTHEX");
+  EXPECT_EQ(rig.device.config(Direction::kLeftToRight).compare_data,
+            0x12345678u);
+}
+
+TEST(CommandPlaneTest, StatReadsBackCounters) {
+  Rig rig;
+  const auto lines = rig.run_command("STAT L");
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("chars=0"), std::string::npos);
+  EXPECT_EQ(lines.back(), "OK");
+}
+
+TEST(CommandPlaneTest, CaptWithNoEventsSaysSo) {
+  Rig rig;
+  const auto lines = rig.run_command("CAPT R");
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("no capture events"), std::string::npos);
+}
+
+TEST(CommandPlaneTest, InjectNowAndRearmAck) {
+  Rig rig;
+  EXPECT_EQ(rig.run_command("INJN L").back(), "OK");
+  EXPECT_EQ(rig.run_command("REARM L").back(), "OK");
+  EXPECT_EQ(rig.run_command("CLRS").back(), "OK");
+}
+
+TEST(CommandPlaneTest, CommandsSerializeAtBaudRate) {
+  // "PING\n" is 5 bytes up, "PONG\r\n" + "OK\r\n" is 10 bytes down; at
+  // 115200 baud a byte is ~86.8 us. The exchange must take at least the
+  // wire time of the request plus the response.
+  Rig rig;
+  rig.run_command("PING");
+  const double us = sim::to_microseconds(rig.sim.now());
+  EXPECT_GT(us, 15 * 86.0);   // 15 bytes on the wire minimum
+  EXPECT_LT(us, 40 * 90.0);   // but not wildly more
+}
+
+TEST(CommandPlaneTest, QueuedCommandsExecuteInOrder) {
+  Rig rig;
+  std::vector<int> order;
+  rig.host.send_command("CMPD L 00000001",
+                        [&](std::vector<std::string>) { order.push_back(1); });
+  rig.host.send_command("CMPD L 00000002",
+                        [&](std::vector<std::string>) { order.push_back(2); });
+  rig.host.send_command("CMPD L 00000003",
+                        [&](std::vector<std::string>) { order.push_back(3); });
+  rig.sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(rig.device.config(Direction::kLeftToRight).compare_data, 3u);
+  EXPECT_TRUE(rig.host.idle());
+  EXPECT_EQ(rig.host.commands_completed(), 3u);
+}
+
+TEST(CommandPlaneTest, ReconfigurableWhileInserted) {
+  // "the FPGA can be reprogrammed while inserted in the network" — the
+  // decoder counts both outcomes and keeps running after errors.
+  Rig rig;
+  rig.run_command("MODE L ON");
+  rig.run_command("BOGUS");
+  rig.run_command("MODE L OFF");
+  EXPECT_EQ(rig.comm.decoder().stats().commands_ok, 2u);
+  EXPECT_EQ(rig.comm.decoder().stats().commands_err, 1u);
+  EXPECT_EQ(rig.device.config(Direction::kLeftToRight).match_mode,
+            MatchMode::kOff);
+}
+
+TEST(CommandPlaneTest, DescribeRoundTripsReadably) {
+  InjectorConfig cfg;
+  cfg.match_mode = MatchMode::kOnce;
+  cfg.corrupt_mode = CorruptMode::kReplace;
+  cfg.compare_data = 0x1818;
+  cfg.crc_repatch = true;
+  const auto text = describe(cfg);
+  EXPECT_NE(text.find("MODE ONCE"), std::string::npos);
+  EXPECT_NE(text.find("CORR REPLACE"), std::string::npos);
+  EXPECT_NE(text.find("CMPD 00001818"), std::string::npos);
+  EXPECT_NE(text.find("CRCR ON"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsfi::core

@@ -1,0 +1,283 @@
+// Unit tests for the FIFO injector datapath (paper Figs. 2/3): two-phase
+// clocking, sliding 32-bit compare window, match modes, corrupt modes, and
+// the inject-now strobe.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/fifo_injector.hpp"
+#include "myrinet/control.hpp"
+
+namespace hsfi::core {
+namespace {
+
+using link::control_symbol;
+using link::data_symbol;
+using link::Symbol;
+
+/// Clocks `in` through and collects every emitted character.
+std::vector<Symbol> run_stream(FifoInjector& inj, const std::vector<Symbol>& in) {
+  std::vector<Symbol> out;
+  const auto keep = [&out](const FifoInjector::Result& r) {
+    if (r.out && !is_idle_character(*r.out)) out.push_back(*r.out);
+  };
+  for (const auto s : in) keep(inj.clock(s));
+  // Drain with idle clocks.
+  while (inj.pending_payload()) keep(inj.clock(std::nullopt));
+  return out;
+}
+
+std::vector<Symbol> bytes_to_symbols(std::initializer_list<int> bytes) {
+  std::vector<Symbol> v;
+  for (const int b : bytes) v.push_back(data_symbol(static_cast<std::uint8_t>(b)));
+  return v;
+}
+
+TEST(FifoInjectorTest, TransparentWhenOff) {
+  FifoInjector inj;
+  const auto in = bytes_to_symbols({0x18, 0x18, 0x42, 0x99, 0x00});
+  EXPECT_EQ(run_stream(inj, in), in);
+  EXPECT_EQ(inj.stats().injections, 0u);
+}
+
+TEST(FifoInjectorTest, LatencyIsPipelineDepth) {
+  FifoInjector::Params p;
+  p.latency_chars = 8;
+  FifoInjector inj(p);
+  // The first character appears only after latency_chars more pushes.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_FALSE(inj.clock(data_symbol(static_cast<std::uint8_t>(i))).out);
+  }
+  const auto r = inj.clock(data_symbol(0xFF));
+  ASSERT_TRUE(r.out.has_value());
+  EXPECT_EQ(r.out->data, 0x00);  // the first pushed character
+}
+
+TEST(FifoInjectorTest, PaperScenarioMatch1818Replace1918) {
+  // Paper §3.3 typical injection scenario: "match the data stream 0x1818,
+  // and replace it with 0x1918... Each contiguous 32-bit string would be
+  // checked to see if it contained the 16 bits 0x1818."
+  FifoInjector inj;
+  auto& cfg = inj.config();
+  cfg.match_mode = MatchMode::kOn;
+  cfg.corrupt_mode = CorruptMode::kReplace;
+  cfg.compare_data = 0x00001818;
+  cfg.compare_mask = 0x0000FFFF;   // 16 care bits in the two newest lanes
+  cfg.compare_ctl = 0x0;
+  cfg.compare_ctl_mask = 0x3;      // both lanes must be data characters
+  cfg.corrupt_data = 0x00001918;
+  cfg.corrupt_mask = 0x0000FFFF;
+
+  const auto out = run_stream(
+      inj, bytes_to_symbols({0xAA, 0x18, 0x18, 0xBB, 0xCC}));
+  EXPECT_EQ(out, bytes_to_symbols({0xAA, 0x19, 0x18, 0xBB, 0xCC}));
+  EXPECT_EQ(inj.stats().injections, 1u);
+}
+
+TEST(FifoInjectorTest, MatchAtAnyByteOffset) {
+  // The window slides per character, so the pattern is caught regardless of
+  // its alignment within 32-bit segments.
+  for (int offset = 0; offset < 4; ++offset) {
+    FifoInjector inj;
+    auto& cfg = inj.config();
+    cfg.match_mode = MatchMode::kOn;
+    cfg.corrupt_mode = CorruptMode::kToggle;
+    cfg.compare_data = 0x00001818;
+    cfg.compare_mask = 0x0000FFFF;
+    cfg.corrupt_data = 0x00000100;  // flip bit 8: 0x1818 -> 0x1918
+
+    std::vector<Symbol> in;
+    for (int i = 0; i < offset; ++i) in.push_back(data_symbol(0x55));
+    in.push_back(data_symbol(0x18));
+    in.push_back(data_symbol(0x18));
+    for (int i = 0; i < 4; ++i) in.push_back(data_symbol(0x66));
+
+    const auto out = run_stream(inj, in);
+    ASSERT_EQ(out.size(), in.size());
+    EXPECT_EQ(out[static_cast<std::size_t>(offset)].data, 0x19) << offset;
+    EXPECT_EQ(out[static_cast<std::size_t>(offset) + 1].data, 0x18);
+  }
+}
+
+TEST(FifoInjectorTest, OnceModeFiresExactlyOnce) {
+  FifoInjector inj;
+  auto& cfg = inj.config();
+  cfg.match_mode = MatchMode::kOnce;
+  cfg.corrupt_mode = CorruptMode::kToggle;
+  cfg.compare_data = 0x000000A5;
+  cfg.compare_mask = 0x000000FF;
+  cfg.corrupt_data = 0x000000FF;
+
+  const auto out = run_stream(
+      inj, bytes_to_symbols({0xA5, 0x00, 0xA5, 0x00, 0xA5}));
+  EXPECT_EQ(out[0].data, 0xA5 ^ 0xFF);  // first occurrence corrupted
+  EXPECT_EQ(out[2].data, 0xA5);         // subsequent matches ignored
+  EXPECT_EQ(out[4].data, 0xA5);
+  EXPECT_EQ(inj.stats().injections, 1u);
+  EXPECT_EQ(inj.stats().matches, 3u);  // matches still counted
+
+  // Re-arming restores the one-shot.
+  inj.rearm();
+  const auto out2 = run_stream(inj, bytes_to_symbols({0xA5, 0x00}));
+  EXPECT_EQ(out2[0].data, 0xA5 ^ 0xFF);
+}
+
+TEST(FifoInjectorTest, InjectNowCorruptsNextWindow) {
+  FifoInjector inj;
+  auto& cfg = inj.config();
+  cfg.match_mode = MatchMode::kOff;  // trigger disabled; strobe still works
+  cfg.corrupt_mode = CorruptMode::kToggle;
+  cfg.corrupt_data = 0x000000FF;  // newest lane only
+
+  // Prime some characters, then strobe.
+  for (int i = 0; i < 4; ++i) inj.clock(data_symbol(0x10));
+  inj.inject_now();
+  inj.clock(data_symbol(0x20));  // this character's window gets corrupted
+
+  std::vector<Symbol> out;
+  while (inj.pending_payload()) {
+    const auto r = inj.clock(std::nullopt);
+    if (r.out && !is_idle_character(*r.out)) out.push_back(*r.out);
+  }
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[4].data, 0x20 ^ 0xFF);
+  EXPECT_EQ(inj.stats().forced, 1u);
+  EXPECT_EQ(inj.stats().injections, 1u);
+}
+
+TEST(FifoInjectorTest, ControlSidebandMatchesControlSymbols) {
+  // Match a GAP control symbol (0x0C with D/C = control) in the newest lane
+  // and replace it with a GO — the Table 4 campaign's core operation.
+  FifoInjector inj;
+  auto& cfg = inj.config();
+  cfg.match_mode = MatchMode::kOn;
+  cfg.corrupt_mode = CorruptMode::kReplace;
+  cfg.compare_data = 0x0000000C;
+  cfg.compare_mask = 0x000000FF;
+  cfg.compare_ctl = 0x1;       // newest lane must be a control character
+  cfg.compare_ctl_mask = 0x1;
+  cfg.corrupt_data = 0x00000003;  // GO
+  cfg.corrupt_mask = 0x000000FF;
+
+  const std::vector<Symbol> in = {
+      data_symbol(0x0C),  // data byte 0x0C: must NOT match (D/C differs)
+      control_symbol(0x0C),
+      data_symbol(0x42),
+  };
+  const auto out = run_stream(inj, in);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].data, 0x0C);  // data 0x0C untouched
+  EXPECT_FALSE(out[0].control);
+  EXPECT_EQ(out[1].data, 0x03);  // GAP -> GO
+  EXPECT_TRUE(out[1].control);
+  EXPECT_EQ(out[2].data, 0x42);
+}
+
+TEST(FifoInjectorTest, ToggleCanFlipControlBit) {
+  // Corrupting the D/C bit itself turns a control symbol into data (or vice
+  // versa) — a fault class only an in-path injector can produce.
+  FifoInjector inj;
+  auto& cfg = inj.config();
+  cfg.match_mode = MatchMode::kOn;
+  cfg.corrupt_mode = CorruptMode::kToggle;
+  cfg.compare_data = 0x0000000C;
+  cfg.compare_mask = 0x000000FF;
+  cfg.compare_ctl = 0x1;
+  cfg.compare_ctl_mask = 0x1;
+  cfg.corrupt_data = 0;
+  cfg.corrupt_ctl = 0x1;  // toggle D/C of the newest lane
+
+  const std::vector<Symbol> in = {control_symbol(0x0C), data_symbol(0x01)};
+  const auto out = run_stream(inj, in);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FALSE(out[0].control);  // GAP became payload byte 0x0C
+  EXPECT_EQ(out[0].data, 0x0C);
+}
+
+TEST(FifoInjectorTest, MaskZeroMatchesEverything) {
+  FifoInjector inj;
+  auto& cfg = inj.config();
+  cfg.match_mode = MatchMode::kOn;
+  cfg.corrupt_mode = CorruptMode::kToggle;
+  cfg.compare_mask = 0;  // don't care on all 32 bits
+  cfg.corrupt_data = 0x00000001;
+
+  const auto out = run_stream(inj, bytes_to_symbols({0x10, 0x20, 0x30, 0x40,
+                                                     0x50, 0x60}));
+  // Every full window fires (matches on empty-FIFO idle ticks cannot
+  // inject, so matches can exceed injections during the drain).
+  EXPECT_GE(inj.stats().matches, inj.stats().injections);
+  EXPECT_GT(inj.stats().injections, 0u);
+  ASSERT_EQ(out.size(), 6u);
+}
+
+TEST(FifoInjectorTest, WindowTracksNewestFourCharacters) {
+  FifoInjector inj;
+  inj.clock(data_symbol(0x11));
+  inj.clock(data_symbol(0x22));
+  inj.clock(data_symbol(0x33));
+  inj.clock(data_symbol(0x44));
+  EXPECT_EQ(inj.window_data(), 0x11223344u);
+  inj.clock(data_symbol(0x55));
+  EXPECT_EQ(inj.window_data(), 0x22334455u);
+  inj.clock(control_symbol(0x0C));
+  EXPECT_EQ(inj.window_ctl() & 0x1, 0x1u);
+}
+
+TEST(FifoInjectorTest, PowerUpWindowHoldsIdleCharacters) {
+  // The compare registers power up holding IDLE control characters, so a
+  // pattern that requires four *data* characters cannot fire until four
+  // have actually been shifted in.
+  FifoInjector inj;
+  auto& cfg = inj.config();
+  cfg.match_mode = MatchMode::kOn;
+  cfg.compare_data = 0;
+  cfg.compare_mask = 0xFFFFFFFF;
+  cfg.compare_ctl = 0x0;       // all four lanes must be data
+  cfg.compare_ctl_mask = 0xF;
+  cfg.corrupt_data = 0xFF;
+  inj.clock(data_symbol(0));
+  inj.clock(data_symbol(0));
+  inj.clock(data_symbol(0));
+  EXPECT_EQ(inj.stats().matches, 0u);
+  inj.clock(data_symbol(0));
+  EXPECT_EQ(inj.stats().matches, 1u);
+}
+
+TEST(FifoInjectorTest, IdleDrainEmitsEverythingInOrder) {
+  FifoInjector inj;
+  std::vector<Symbol> out;
+  for (int i = 0; i < 10; ++i) {
+    const auto r = inj.clock(data_symbol(static_cast<std::uint8_t>(i)));
+    if (r.out) out.push_back(*r.out);
+  }
+  while (inj.pending_payload()) {
+    const auto r = inj.clock(std::nullopt);
+    if (r.out && !is_idle_character(*r.out)) out.push_back(*r.out);
+  }
+  ASSERT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].data, static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(FifoInjectorTest, RepeatabilityExactSameFaultTwice) {
+  // "This also allows us to inject the same fault repeatedly with exact
+  // precision" (paper §3.1).
+  const auto run_once = [] {
+    FifoInjector inj;
+    auto& cfg = inj.config();
+    cfg.match_mode = MatchMode::kOn;
+    cfg.corrupt_mode = CorruptMode::kReplace;
+    cfg.compare_data = 0x00001818;
+    cfg.compare_mask = 0x0000FFFF;
+    cfg.corrupt_data = 0x00001918;
+    cfg.corrupt_mask = 0x0000FFFF;
+    return run_stream(inj, bytes_to_symbols({0x01, 0x18, 0x18, 0x02, 0x03}));
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace hsfi::core

@@ -1,0 +1,62 @@
+// Tests for the random (SEU-style) trigger: the 16-bit LFSR thins compare
+// hits to a configurable rate, deterministically and reproducibly.
+#include <gtest/gtest.h>
+
+#include "core/fifo_injector.hpp"
+#include "nftape/faults.hpp"
+
+namespace hsfi::core {
+namespace {
+
+std::uint64_t injections_for_mask(std::uint16_t mask, int characters) {
+  FifoInjector inj;
+  inj.config() = nftape::random_bit_flip_seu(mask);
+  for (int i = 0; i < characters; ++i) {
+    inj.clock(link::data_symbol(static_cast<std::uint8_t>(i)));
+  }
+  return inj.stats().injections;
+}
+
+TEST(LfsrTriggerTest, MaskZeroFiresOnEveryMatch) {
+  EXPECT_EQ(injections_for_mask(0x0000, 1000), 1000u);
+}
+
+TEST(LfsrTriggerTest, RateScalesWithMaskWidth) {
+  const auto r4 = injections_for_mask(0x000F, 64'000);   // ~1/16
+  const auto r8 = injections_for_mask(0x00FF, 64'000);   // ~1/256
+  // Within a factor of two of the nominal rates (the LFSR is pseudo-random,
+  // not exactly uniform over short windows).
+  EXPECT_NEAR(static_cast<double>(r4), 64'000.0 / 16, 64'000.0 / 32);
+  EXPECT_NEAR(static_cast<double>(r8), 64'000.0 / 256, 64'000.0 / 512);
+  EXPECT_GT(r4, r8 * 4);
+}
+
+TEST(LfsrTriggerTest, DeterministicAcrossRuns) {
+  EXPECT_EQ(injections_for_mask(0x001F, 10'000),
+            injections_for_mask(0x001F, 10'000));
+}
+
+TEST(LfsrTriggerTest, LfsrDoesNotGateInjectNow) {
+  FifoInjector inj;
+  inj.config().lfsr_mask = 0xFFFF;  // trigger essentially never
+  inj.config().corrupt_mode = CorruptMode::kToggle;
+  inj.config().corrupt_data = 0x000000FF;
+  for (int i = 0; i < 4; ++i) inj.clock(link::data_symbol(0x10));
+  inj.inject_now();
+  inj.clock(link::data_symbol(0x20));
+  EXPECT_EQ(inj.stats().forced, 1u);
+  EXPECT_EQ(inj.stats().injections, 1u);
+}
+
+TEST(LfsrTriggerTest, SerialCommandProgramsMask) {
+  const auto cfg = nftape::random_bit_flip_seu(0x00FF);
+  const auto cmds = nftape::to_serial_commands(cfg, Direction::kLeftToRight);
+  bool found = false;
+  for (const auto& c : cmds) {
+    if (c == "LFSR L 00FF") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace hsfi::core

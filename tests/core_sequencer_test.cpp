@@ -1,0 +1,176 @@
+// Tests for the fault sequencer — the paper's internally generated
+// reconfiguration ("iterate through any number of faults") — and for
+// cable-cut failure injection at the link layer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sequencer.hpp"
+#include "host/traffic.hpp"
+#include "nftape/faults.hpp"
+#include "nftape/testbed.hpp"
+
+namespace hsfi::core {
+namespace {
+
+using sim::microseconds;
+using sim::milliseconds;
+
+nftape::TestbedConfig fast_config() {
+  nftape::TestbedConfig c;
+  c.map_period = milliseconds(20);
+  c.map_reply_window = milliseconds(2);
+  c.nic_config.rx_processing_time = microseconds(2);
+  c.send_stack_time = microseconds(2);
+  return c;
+}
+
+InjectorConfig toggle_byte(std::uint8_t victim, std::uint8_t flip) {
+  InjectorConfig cfg;
+  cfg.match_mode = MatchMode::kOn;
+  cfg.corrupt_mode = CorruptMode::kToggle;
+  cfg.compare_data = victim;
+  cfg.compare_mask = 0x000000FF;
+  cfg.compare_ctl = 0x0;
+  cfg.compare_ctl_mask = 0x1;
+  cfg.corrupt_data = flip;
+  cfg.crc_repatch = true;
+  return cfg;
+}
+
+TEST(FaultSequencerTest, IteratesThroughFaultsByInjectionCount) {
+  nftape::Testbed bed(fast_config());
+  bed.start();
+  bed.settle(milliseconds(80));
+
+  FaultSequencer seq(bed.sim(), bed.injector(), Direction::kLeftToRight);
+  std::vector<std::size_t> completed;
+  seq.on_step_complete([&completed](std::size_t s) { completed.push_back(s); });
+  ASSERT_TRUE(seq.load({
+      {toggle_byte(0xA1, 0x01), 2, 0, "flip A1"},
+      {toggle_byte(0xB2, 0x02), 3, 0, "flip B2"},
+  }));
+  seq.start(microseconds(5));
+
+  // Traffic containing both victim bytes.
+  std::vector<std::string> payloads;
+  bed.host(1).bind(4000, [&payloads](host::HostId, const host::UdpDatagram& d,
+                                     sim::SimTime) {
+    payloads.emplace_back(d.payload.begin(), d.payload.end());
+  });
+  for (int i = 0; i < 10; ++i) {
+    host::UdpDatagram d;
+    d.dst_port = 4000;
+    d.payload = {0xA1, 0xB2};
+    bed.host(0).send_udp(2, std::move(d));
+    bed.settle(milliseconds(1));
+  }
+  bed.settle(milliseconds(5));
+
+  // Step 1 corrupted exactly 2 packets, step 2 exactly 3; the corrupted
+  // ones die at the UDP checksum (the link CRC was repatched), so exactly
+  // five intact datagrams arrive.
+  EXPECT_EQ(payloads.size(), 5u);
+  for (const auto& p : payloads) {
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(static_cast<std::uint8_t>(p[0]), 0xA1);
+    EXPECT_EQ(static_cast<std::uint8_t>(p[1]), 0xB2);
+  }
+  EXPECT_EQ(bed.host(1).stats().drop_bad_checksum, 5u);
+  EXPECT_EQ(bed.injector().fifo_stats(Direction::kLeftToRight).injections,
+            5u);
+  EXPECT_EQ(completed, (std::vector<std::size_t>{0, 1}));
+  const auto p = seq.progress();
+  EXPECT_FALSE(p.running);
+  EXPECT_EQ(p.steps_completed, 2u);
+  // Device left disarmed.
+  EXPECT_EQ(bed.injector().config(Direction::kLeftToRight).match_mode,
+            MatchMode::kOff);
+}
+
+TEST(FaultSequencerTest, TimeBoundedStepAdvancesWithoutMatches) {
+  nftape::Testbed bed(fast_config());
+  bed.start();
+  bed.settle(milliseconds(60));
+  FaultSequencer seq(bed.sim(), bed.injector(), Direction::kLeftToRight);
+  ASSERT_TRUE(seq.load({
+      {toggle_byte(0xEE, 0x01), 0, milliseconds(2), "never matches"},
+      {toggle_byte(0xDD, 0x01), 0, milliseconds(2), "never matches"},
+  }));
+  seq.start(microseconds(50));
+  bed.settle(milliseconds(10));
+  EXPECT_EQ(seq.progress().steps_completed, 2u);
+  EXPECT_FALSE(seq.progress().running);
+}
+
+TEST(FaultSequencerTest, RejectsUnboundedSteps) {
+  nftape::Testbed bed(fast_config());
+  FaultSequencer seq(bed.sim(), bed.injector(), Direction::kLeftToRight);
+  EXPECT_FALSE(seq.load({{toggle_byte(0x01, 0x01), 0, 0, "unbounded"}}));
+}
+
+TEST(FaultSequencerTest, StopDisarmsMidProgram) {
+  nftape::Testbed bed(fast_config());
+  bed.start();
+  bed.settle(milliseconds(60));
+  FaultSequencer seq(bed.sim(), bed.injector(), Direction::kLeftToRight);
+  ASSERT_TRUE(seq.load({{toggle_byte(0x11, 0x01), 1000, 0, "long"}}));
+  seq.start();
+  bed.settle(milliseconds(1));
+  EXPECT_TRUE(seq.progress().running);
+  seq.stop();
+  EXPECT_FALSE(seq.progress().running);
+  EXPECT_EQ(bed.injector().config(Direction::kLeftToRight).match_mode,
+            MatchMode::kOff);
+}
+
+TEST(CableCutTest, MappingRemovesUnreachableNodeAndRestores) {
+  // A cable cut makes a node silent; the next mapping round removes it
+  // ("If the mapper does not receive a response from a port..."), and
+  // reconnecting restores it one round later — the node-hang scenario the
+  // paper's §4.4 Chameleon discussion worries about.
+  sim::Simulator simr;
+  myrinet::Switch sw(simr, "sw", {});
+  std::vector<std::unique_ptr<link::DuplexLink>> cables;
+  std::vector<std::unique_ptr<myrinet::HostInterface>> nics;
+  std::vector<std::unique_ptr<host::Host>> hosts;
+  for (std::size_t i = 0; i < 3; ++i) {
+    cables.push_back(std::make_unique<link::DuplexLink>(
+        simr, "c" + std::to_string(i), sim::picoseconds(12'500),
+        sim::nanoseconds(5)));
+    myrinet::HostInterface::Config nc;
+    nc.rx_processing_time = microseconds(2);
+    nics.push_back(std::make_unique<myrinet::HostInterface>(
+        simr, "n" + std::to_string(i), nc));
+    nics[i]->attach(cables[i]->b_to_a(), cables[i]->a_to_b());
+    sw.attach_port(i, cables[i]->a_to_b(), cables[i]->b_to_a());
+    host::Host::Config hc;
+    hc.id = static_cast<host::HostId>(i + 1);
+    hc.eth = myrinet::EthAddr::from_u64(0xAA0000000000ULL + i);
+    hc.mcp_address = 0x3000 + i;
+    hc.switch_port = static_cast<std::uint8_t>(i);
+    hc.map_period = milliseconds(20);
+    hc.map_reply_window = milliseconds(2);
+    hosts.push_back(std::make_unique<host::Host>(simr, *nics[i], hc));
+    hosts[i]->start(microseconds(100 * static_cast<std::int64_t>(i + 1)));
+  }
+  simr.run_until(milliseconds(70));
+  ASSERT_EQ(hosts[2]->mcp().network_map().size(), 3u);
+
+  // Cut node 0's cable in both directions.
+  cables[0]->a_to_b().set_connected(false);
+  cables[0]->b_to_a().set_connected(false);
+  simr.run_until(simr.now() + milliseconds(50));
+  EXPECT_EQ(hosts[2]->mcp().network_map().size(), 2u)
+      << "silent node still mapped";
+  EXPECT_GT(cables[0]->b_to_a().symbols_lost_disconnected(), 0u);
+
+  // Plug it back in: restored at the next round.
+  cables[0]->a_to_b().set_connected(true);
+  cables[0]->b_to_a().set_connected(true);
+  simr.run_until(simr.now() + milliseconds(50));
+  EXPECT_EQ(hosts[2]->mcp().network_map().size(), 3u);
+}
+
+}  // namespace
+}  // namespace hsfi::core

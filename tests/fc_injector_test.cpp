@@ -1,0 +1,127 @@
+// Dual-media capability: the injector device spliced into a Fibre Channel
+// link (the board's FCPHY side). Corruption of FC frames is caught by the
+// FC CRC-32; ordered sets pass through transparently; credit flow control
+// survives the splice.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/device.hpp"
+#include "fc/port.hpp"
+#include "link/channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace hsfi::fc {
+namespace {
+
+constexpr sim::Duration kFcPeriod = sim::picoseconds(9'412);
+
+struct SplicedFcLink {
+  sim::Simulator sim;
+  link::DuplexLink left{sim, "fcl", kFcPeriod, sim::nanoseconds(5)};
+  link::DuplexLink right{sim, "fcr", kFcPeriod, sim::nanoseconds(5)};
+  core::InjectorDevice device;
+  FcPort a;
+  FcPort b;
+  std::vector<FcFrame> at_b;
+
+  explicit SplicedFcLink(FcPort::Config pc = {})
+      : device(sim, "fi-fc",
+               [] {
+                 core::InjectorDevice::Config dc;
+                 dc.character_period = kFcPeriod;
+                 return dc;
+               }()),
+        a(sim, "a", pc),
+        b(sim, "b", pc) {
+    a.attach(left.b_to_a(), left.a_to_b());
+    device.attach_left(left.a_to_b(), left.b_to_a());
+    device.attach_right(right.b_to_a(), right.a_to_b());
+    b.attach(right.a_to_b(), right.b_to_a());
+    b.on_frame([this](FcFrame f, sim::SimTime) { at_b.push_back(std::move(f)); });
+  }
+
+  static FcFrame frame(std::uint8_t tag) {
+    FcFrame f;
+    f.header.d_id = 2;
+    f.header.s_id = 1;
+    f.header.seq_cnt = tag;
+    f.payload.assign(48, tag);
+    return f;
+  }
+};
+
+TEST(FcInjectorTest, TransparentToFramesAndCredit) {
+  SplicedFcLink net;
+  for (std::uint8_t i = 0; i < 12; ++i) net.a.send(SplicedFcLink::frame(i));
+  net.sim.run();
+  ASSERT_EQ(net.at_b.size(), 12u);
+  for (std::uint8_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(net.at_b[i].header.seq_cnt, i);
+  }
+  EXPECT_EQ(net.b.stats().crc_errors, 0u);
+  EXPECT_EQ(net.a.stats().rrdy_received, 12u);  // credits crossed back
+}
+
+TEST(FcInjectorTest, PayloadCorruptionCaughtByCrc32) {
+  SplicedFcLink net;
+  core::InjectorConfig fault;
+  fault.match_mode = core::MatchMode::kOn;
+  fault.corrupt_mode = core::CorruptMode::kToggle;
+  fault.compare_data = 0x37373737;  // the payload fill below
+  fault.compare_mask = 0xFFFFFFFF;
+  fault.compare_ctl = 0x0;
+  fault.compare_ctl_mask = 0xF;
+  fault.corrupt_data = 0x00000001;
+  net.device.apply(core::Direction::kLeftToRight, fault);
+
+  net.a.send(SplicedFcLink::frame(0x37));
+  net.sim.run();
+  EXPECT_TRUE(net.at_b.empty());
+  EXPECT_EQ(net.b.stats().crc_errors, 1u);
+  EXPECT_GT(net.device.fifo_stats(core::Direction::kLeftToRight).injections,
+            0u);
+}
+
+TEST(FcInjectorTest, OrderedSetCorruptionBreaksFraming) {
+  // Corrupt the K28.5 that leads every ordered set (data byte 0xBC with the
+  // K flag) into a data character: SOF/EOF become unparseable and frames
+  // are lost to malformed-set accounting — the FC-side analogue of the
+  // Myrinet GAP campaign.
+  SplicedFcLink net;
+  core::InjectorConfig fault;
+  fault.match_mode = core::MatchMode::kOn;
+  fault.corrupt_mode = core::CorruptMode::kToggle;
+  fault.compare_data = 0x000000BC;  // K28.5 encoding
+  fault.compare_mask = 0x000000FF;
+  fault.compare_ctl = 0x1;  // must be a special character
+  fault.compare_ctl_mask = 0x1;
+  fault.corrupt_ctl = 0x1;  // flip the K flag
+  net.device.apply(core::Direction::kLeftToRight, fault);
+
+  for (std::uint8_t i = 0; i < 5; ++i) net.a.send(SplicedFcLink::frame(i));
+  net.sim.run_until(sim::milliseconds(5));
+  EXPECT_TRUE(net.at_b.empty());
+  EXPECT_GT(net.b.stats().stray_data, 0u);
+}
+
+TEST(FcInjectorTest, OnceModeDamagesExactlyOneFcFrame) {
+  SplicedFcLink net;
+  core::InjectorConfig fault;
+  fault.match_mode = core::MatchMode::kOnce;
+  fault.corrupt_mode = core::CorruptMode::kToggle;
+  fault.compare_data = 0x00000019;  // seq tag of every frame below
+  fault.compare_mask = 0x000000FF;
+  fault.compare_ctl = 0x0;
+  fault.compare_ctl_mask = 0x1;
+  fault.corrupt_data = 0x00000040;
+  net.device.apply(core::Direction::kLeftToRight, fault);
+
+  for (int i = 0; i < 6; ++i) net.a.send(SplicedFcLink::frame(0x19));
+  net.sim.run();
+  EXPECT_EQ(net.at_b.size(), 5u);
+  EXPECT_EQ(net.b.stats().crc_errors, 1u);
+}
+
+}  // namespace
+}  // namespace hsfi::fc

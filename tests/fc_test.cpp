@@ -1,0 +1,341 @@
+// Fibre Channel substrate tests: exhaustive 8b/10b properties
+// (parameterized over the whole code space), CRC-32, frame codec, ordered
+// sets, BB-credit flow control, and wire-level fault behavior through the
+// serdes.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+#include <vector>
+
+#include "fc/crc32.hpp"
+#include "fc/enc8b10b.hpp"
+#include "fc/frame.hpp"
+#include "fc/port.hpp"
+#include "link/channel.hpp"
+#include "phy/serdes.hpp"
+#include "sim/simulator.hpp"
+
+namespace hsfi::fc {
+namespace {
+
+// ---------------------------------------------------------------- 8b/10b
+
+/// (value, is_k, entering disparity) sweep over every encodable character.
+using CodePoint = std::tuple<int, bool, bool>;  // value, k, rd_minus
+
+class Enc8b10bSweep : public ::testing::TestWithParam<CodePoint> {};
+
+bool is_encodable(int value, bool k) {
+  if (!k) return true;
+  const int x = value & 0x1F;
+  const int y = value >> 5;
+  if (x == 28) return true;
+  return y == 7 && (x == 23 || x == 27 || x == 29 || x == 30);
+}
+
+TEST_P(Enc8b10bSweep, RoundTripsAndKeepsDisparityLegal) {
+  const auto [value, k, minus] = GetParam();
+  const Char8 c{static_cast<std::uint8_t>(value), k};
+  const Disparity rd = minus ? Disparity::kMinus : Disparity::kPlus;
+  const auto enc = encode_8b10b(c, rd);
+  if (!is_encodable(value, k)) {
+    EXPECT_FALSE(enc.has_value());
+    return;
+  }
+  ASSERT_TRUE(enc.has_value());
+  // 10-bit groups carry 4, 5, or 6 ones — never worse.
+  const int ones = std::popcount(static_cast<unsigned>(enc->code));
+  EXPECT_GE(ones, 4);
+  EXPECT_LE(ones, 6);
+  // Neutral groups keep RD; unbalanced groups flip it toward balance.
+  if (ones == 5) {
+    EXPECT_EQ(enc->rd, rd);
+  } else if (ones == 6) {
+    EXPECT_EQ(rd, Disparity::kMinus);  // only legal from RD-
+    EXPECT_EQ(enc->rd, Disparity::kPlus);
+  } else {
+    EXPECT_EQ(rd, Disparity::kPlus);
+    EXPECT_EQ(enc->rd, Disparity::kMinus);
+  }
+  // Decode inverts encode under the same entering disparity.
+  const auto dec = decode_8b10b(enc->code, rd);
+  EXPECT_FALSE(dec.code_violation);
+  EXPECT_FALSE(dec.disparity_error);
+  EXPECT_EQ(dec.character, c);
+  EXPECT_EQ(dec.rd, enc->rd);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCharacters, Enc8b10bSweep,
+    ::testing::Combine(::testing::Range(0, 256), ::testing::Bool(),
+                       ::testing::Bool()));
+
+TEST(Enc8b10bTest, K285IsTheCommaCharacter) {
+  const auto minus = encode_8b10b(K(28, 5), Disparity::kMinus);
+  const auto plus = encode_8b10b(K(28, 5), Disparity::kPlus);
+  ASSERT_TRUE(minus && plus);
+  EXPECT_EQ(minus->code, 0b0011111010);
+  EXPECT_EQ(plus->code, 0b1100000101);
+}
+
+TEST(Enc8b10bTest, EncodingsUniquePerDisparity) {
+  for (const bool minus : {true, false}) {
+    std::set<std::uint16_t> seen;
+    const Disparity rd = minus ? Disparity::kMinus : Disparity::kPlus;
+    for (int v = 0; v < 256; ++v) {
+      for (const bool k : {false, true}) {
+        if (!is_encodable(v, k)) continue;
+        const auto enc = encode_8b10b(Char8{static_cast<std::uint8_t>(v), k}, rd);
+        ASSERT_TRUE(enc.has_value());
+        EXPECT_TRUE(seen.insert(enc->code).second)
+            << "duplicate code for value " << v << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Enc8b10bTest, LongStreamDisparityStaysBounded) {
+  // Encode every byte value in sequence; running disparity must remain
+  // +-1 between characters by construction.
+  Disparity rd = Disparity::kMinus;
+  int balance = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (int v = 0; v < 256; ++v) {
+      const auto enc = encode_8b10b(D(static_cast<std::uint8_t>(v & 0x1F),
+                                      static_cast<std::uint8_t>((v >> 5) & 7)),
+                                    rd);
+      ASSERT_TRUE(enc.has_value());
+      balance += 2 * std::popcount(static_cast<unsigned>(enc->code)) - 10;
+      EXPECT_LE(std::abs(balance), 2);
+      rd = enc->rd;
+    }
+  }
+}
+
+TEST(Enc8b10bTest, InvalidGroupIsViolation) {
+  // 0b1111111111 is not a legal group under either disparity.
+  const auto dec = decode_8b10b(0x3FF, Disparity::kMinus);
+  EXPECT_TRUE(dec.code_violation);
+}
+
+TEST(Enc8b10bTest, WrongDisparityDetected) {
+  // D.00 RD- group received while RD is plus: decodable but flagged.
+  const auto enc = encode_8b10b(D(0, 0), Disparity::kMinus);
+  ASSERT_TRUE(enc.has_value());
+  const auto dec = decode_8b10b(enc->code, Disparity::kPlus);
+  EXPECT_FALSE(dec.code_violation);
+  EXPECT_TRUE(dec.disparity_error);
+  EXPECT_EQ(dec.character, D(0, 0));
+}
+
+// ---------------------------------------------------------------- CRC-32
+
+TEST(Crc32Test, KnownVector) {
+  const std::vector<std::uint8_t> msg = {'1', '2', '3', '4', '5',
+                                         '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(msg), 0xCBF43926u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> msg;
+  for (int i = 0; i < 300; ++i) msg.push_back(static_cast<std::uint8_t>(i * 7));
+  Crc32 inc;
+  for (const auto b : msg) inc.update(b);
+  EXPECT_EQ(inc.value(), crc32(msg));
+}
+
+TEST(Crc32Test, DetectsBitFlips) {
+  std::vector<std::uint8_t> msg(64, 0xA5);
+  const auto good = crc32(msg);
+  msg[20] ^= 0x08;
+  EXPECT_NE(crc32(msg), good);
+}
+
+// ---------------------------------------------------------------- frames
+
+TEST(FcFrameTest, HeaderRoundTrip) {
+  FcHeader h;
+  h.r_ctl = 0x22;
+  h.d_id = 0x010203;
+  h.s_id = 0x040506;
+  h.type = 0x08;  // SCSI-FCP style
+  h.f_ctl = 0x090A0B;
+  h.seq_id = 0x10;
+  h.seq_cnt = 0x1234;
+  h.ox_id = 0x5678;
+  h.rx_id = 0x9ABC;
+  h.parameter = 0xDEADBEEF;
+  const auto wire = encode_header(h);
+  ASSERT_EQ(wire.size(), kFcHeaderSize);
+  const auto parsed = parse_header(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, h);
+}
+
+TEST(FcFrameTest, FrameSymbolsRoundTrip) {
+  FcFrame f;
+  f.header.d_id = 0x000002;
+  f.header.s_id = 0x000001;
+  f.payload = {1, 2, 3, 4, 5};
+  const auto symbols = frame_to_symbols(f);
+  // SOF(4) + header(24) + payload(5) + crc(4) + EOF(4)
+  ASSERT_EQ(symbols.size(), 4 + 24 + 5 + 4 + 4u);
+  // Body excludes the ordered sets.
+  std::vector<std::uint8_t> body;
+  for (std::size_t i = 4; i < symbols.size() - 4; ++i) {
+    ASSERT_FALSE(symbols[i].control);
+    body.push_back(symbols[i].data);
+  }
+  const auto parsed = parse_frame_body(body);
+  ASSERT_EQ(parsed.status, FcParseStatus::kOk);
+  EXPECT_EQ(parsed.frame.header, f.header);
+  EXPECT_EQ(parsed.frame.payload, f.payload);
+}
+
+TEST(FcFrameTest, CorruptedBodyFailsCrc) {
+  FcFrame f;
+  f.payload = {9, 9, 9, 9};
+  const auto symbols = frame_to_symbols(f);
+  std::vector<std::uint8_t> body;
+  for (std::size_t i = 4; i < symbols.size() - 4; ++i) {
+    body.push_back(symbols[i].data);
+  }
+  body[26] ^= 0x01;  // payload corruption
+  EXPECT_EQ(parse_frame_body(body).status, FcParseStatus::kCrcError);
+}
+
+TEST(FcFrameTest, OrderedSetsDistinctAndParseable) {
+  const OrderedSet all[] = {OrderedSet::kIdle,  OrderedSet::kRRdy,
+                            OrderedSet::kSofI3, OrderedSet::kSofN3,
+                            OrderedSet::kEofN,  OrderedSet::kEofT};
+  std::set<std::uint64_t> seen;
+  for (const auto os : all) {
+    const auto chars = ordered_set_chars(os);
+    EXPECT_EQ(chars[0], K(28, 5));
+    std::uint64_t key = 0;
+    for (const auto c : chars) key = (key << 9) | (c.value | (c.is_k << 8));
+    EXPECT_TRUE(seen.insert(key).second);
+    const auto parsed =
+        parse_ordered_set(std::span<const Char8, 4>(chars.data(), 4));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, os);
+  }
+}
+
+// ---------------------------------------------------------------- ports
+
+struct FcPair {
+  sim::Simulator sim;
+  link::DuplexLink cable{sim, "fc", sim::picoseconds(9'412),
+                         sim::nanoseconds(5)};
+  FcPort a;
+  FcPort b;
+  std::vector<FcFrame> at_b;
+  std::vector<FcFrame> at_a;
+
+  explicit FcPair(FcPort::Config config = {})
+      : a(sim, "a", config), b(sim, "b", config) {
+    a.attach(cable.b_to_a(), cable.a_to_b());
+    b.attach(cable.a_to_b(), cable.b_to_a());
+    a.on_frame([this](FcFrame f, sim::SimTime) { at_a.push_back(std::move(f)); });
+    b.on_frame([this](FcFrame f, sim::SimTime) { at_b.push_back(std::move(f)); });
+  }
+
+  static FcFrame frame(std::uint8_t tag, std::size_t size = 64) {
+    FcFrame f;
+    f.header.d_id = 2;
+    f.header.s_id = 1;
+    f.header.seq_cnt = tag;
+    f.payload.assign(size, tag);
+    return f;
+  }
+};
+
+TEST(FcPortTest, DeliversFramesInOrder) {
+  FcPair net;
+  for (std::uint8_t i = 0; i < 20; ++i) net.a.send(FcPair::frame(i));
+  net.sim.run();
+  ASSERT_EQ(net.at_b.size(), 20u);
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(net.at_b[i].header.seq_cnt, i);
+    EXPECT_EQ(net.at_b[i].payload[0], i);
+  }
+  EXPECT_EQ(net.b.stats().crc_errors, 0u);
+}
+
+TEST(FcPortTest, CreditLimitsOutstandingFrames) {
+  FcPort::Config pc;
+  pc.bb_credit = 2;
+  pc.rx_buffers = 2;
+  pc.rx_processing_time = sim::microseconds(50);  // slow receiver
+  FcPair net(pc);
+  for (std::uint8_t i = 0; i < 12; ++i) net.a.send(FcPair::frame(i));
+  net.sim.run();
+  // Credit gating: every frame still arrives, nothing overruns the two
+  // receive buffers, and the sender observed at least one stall.
+  EXPECT_EQ(net.at_b.size(), 12u);
+  EXPECT_EQ(net.b.stats().rx_overflows, 0u);
+  EXPECT_GT(net.a.stats().credit_stall_events, 0u);
+  EXPECT_EQ(net.b.stats().rrdy_sent, 12u);
+  EXPECT_EQ(net.a.stats().rrdy_received, 12u);
+}
+
+TEST(FcPortTest, FullDuplexTrafficIndependent) {
+  FcPair net;
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    net.a.send(FcPair::frame(i));
+    net.b.send(FcPair::frame(static_cast<std::uint8_t>(100 + i)));
+  }
+  net.sim.run();
+  EXPECT_EQ(net.at_b.size(), 10u);
+  EXPECT_EQ(net.at_a.size(), 10u);
+}
+
+// ------------------------------------------------------------- serdes
+
+TEST(FcSerdesTest, WireRoundTripIsIdentity) {
+  FcFrame f = FcPair::frame(7, 32);
+  const auto symbols = frame_to_symbols(f);
+  const auto wire = phy::FcSerdes::encode(symbols);
+  EXPECT_EQ(wire.groups.size(), symbols.size());
+  const auto decoded = phy::FcSerdes::decode(wire);
+  EXPECT_EQ(decoded.code_violations, 0u);
+  EXPECT_EQ(decoded.disparity_errors, 0u);
+  ASSERT_EQ(decoded.symbols.size(), symbols.size());
+  EXPECT_TRUE(std::equal(symbols.begin(), symbols.end(),
+                         decoded.symbols.begin()));
+}
+
+TEST(FcSerdesTest, WireBitFlipSurfacesAsCodeOrDisparityError) {
+  // Sweep a single-bit fault across a stretch of wire; 8b/10b must flag
+  // every one as a code violation, a disparity error, or (at worst) decode
+  // to a different character — it can never vanish silently AND corrupt
+  // nothing. Count how the error surface distributes.
+  FcFrame f = FcPair::frame(3, 16);
+  const auto symbols = frame_to_symbols(f);
+  int detected = 0;
+  int miscoded = 0;
+  const auto baseline = phy::FcSerdes::encode(symbols);
+  for (std::size_t i = 0; i < baseline.groups.size(); ++i) {
+    for (unsigned bit = 0; bit < 10; ++bit) {
+      auto wire = baseline;
+      phy::flip_wire_bit(wire, i, bit);
+      const auto decoded = phy::FcSerdes::decode(wire);
+      if (decoded.code_violations > 0 || decoded.disparity_errors > 0) {
+        ++detected;
+      } else {
+        ++miscoded;
+        EXPECT_FALSE(std::equal(symbols.begin(), symbols.end(),
+                                decoded.symbols.begin(),
+                                decoded.symbols.end()))
+            << "bit flip vanished silently at group " << i << " bit " << bit;
+      }
+    }
+  }
+  // The vast majority of single-bit wire faults are detected at the PHY.
+  EXPECT_GT(detected, miscoded);
+}
+
+}  // namespace
+}  // namespace hsfi::fc

@@ -1,0 +1,158 @@
+// Edge cases for the ping/echo tooling and the host stack surfaces the
+// campaigns depend on.
+#include <gtest/gtest.h>
+
+#include "host/ping.hpp"
+#include "host/traffic.hpp"
+#include "nftape/testbed.hpp"
+
+namespace hsfi::host {
+namespace {
+
+using sim::microseconds;
+using sim::milliseconds;
+
+nftape::TestbedConfig fast_config() {
+  nftape::TestbedConfig c;
+  c.map_period = milliseconds(20);
+  c.map_reply_window = milliseconds(2);
+  c.nic_config.rx_processing_time = microseconds(2);
+  c.send_stack_time = microseconds(2);
+  return c;
+}
+
+TEST(PingerTest, UnreachableTargetTimesOutAndKeepsGoing) {
+  nftape::Testbed bed(fast_config());
+  bed.start();
+  bed.settle(milliseconds(60));
+  // No echo service on the target: every request times out.
+  Pinger::Config pc;
+  pc.target = 2;
+  pc.max_packets = 5;
+  pc.timeout = milliseconds(1);
+  Pinger ping(bed.sim(), bed.host(0), pc);
+  ping.start();
+  bed.settle(milliseconds(20));
+  EXPECT_EQ(ping.results().sent, 5u);
+  EXPECT_EQ(ping.results().received, 0u);
+  EXPECT_EQ(ping.results().timeouts, 5u);
+  EXPECT_FALSE(ping.running());
+}
+
+TEST(PingerTest, StopHaltsMidFlood) {
+  nftape::Testbed bed(fast_config());
+  bed.start();
+  bed.settle(milliseconds(60));
+  bed.host(1).enable_echo();
+  Pinger::Config pc;
+  pc.target = 2;
+  Pinger ping(bed.sim(), bed.host(0), pc);
+  ping.start();
+  bed.settle(milliseconds(5));
+  const auto sent_so_far = ping.results().sent;
+  EXPECT_GT(sent_so_far, 0u);
+  ping.stop();
+  bed.settle(milliseconds(5));
+  EXPECT_EQ(ping.results().sent, sent_so_far);
+}
+
+TEST(PingerTest, DoneCallbackFiresOnceAtCompletion) {
+  nftape::Testbed bed(fast_config());
+  bed.start();
+  bed.settle(milliseconds(60));
+  bed.host(1).enable_echo();
+  Pinger::Config pc;
+  pc.target = 2;
+  pc.max_packets = 10;
+  Pinger ping(bed.sim(), bed.host(0), pc);
+  int done = 0;
+  ping.on_done([&done] { ++done; });
+  ping.start();
+  bed.settle(milliseconds(50));
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(ping.results().received, 10u);
+  EXPECT_GT(ping.results().average_wall_rtt_ns(), 0.0);
+}
+
+TEST(HostStackTest, UnboundPortCountsDrop) {
+  nftape::Testbed bed(fast_config());
+  bed.start();
+  bed.settle(milliseconds(60));
+  UdpDatagram d;
+  d.dst_port = 31337;  // nothing bound there
+  bed.host(0).send_udp(2, std::move(d));
+  bed.settle(milliseconds(5));
+  EXPECT_EQ(bed.host(1).stats().drop_unbound_port, 1u);
+  EXPECT_EQ(bed.host(1).stats().udp_delivered, 0u);
+}
+
+TEST(HostStackTest, UnknownPeerRefusedBeforeTheWire) {
+  nftape::Testbed bed(fast_config());
+  bed.start();
+  bed.settle(milliseconds(60));
+  UdpDatagram d;
+  d.dst_port = 9;
+  EXPECT_FALSE(bed.host(0).send_udp(99, std::move(d)));
+  EXPECT_EQ(bed.host(0).stats().drop_unknown_peer, 1u);
+  EXPECT_EQ(bed.host(0).stats().udp_sent, 0u);
+}
+
+TEST(HostStackTest, BootOffsetIsDeterministicPerSeed) {
+  // The Table 2 noise model must be reproducible: same seed, same offset.
+  auto measure = [](std::uint64_t seed) {
+    nftape::TestbedConfig c = fast_config();
+    c.host_boot_offset_span = sim::nanoseconds(800);
+    c.seed = seed;
+    nftape::Testbed bed(c);
+    bed.start();
+    bed.settle(milliseconds(60));
+    bed.host(1).enable_echo();
+    Pinger::Config pc;
+    pc.target = 2;
+    pc.max_packets = 50;
+    Pinger ping(bed.sim(), bed.host(0), pc);
+    ping.start();
+    bed.settle(milliseconds(100));
+    return ping.results().total_sim_rtt;
+  };
+  EXPECT_EQ(measure(7), measure(7));
+  EXPECT_NE(measure(7), measure(8));  // different boot, different offsets
+}
+
+TEST(UdpFloodTest, MaxPacketsStopsExactly) {
+  nftape::Testbed bed(fast_config());
+  bed.start();
+  bed.settle(milliseconds(60));
+  UdpSink sink(bed.host(1), 9);
+  UdpFlood::Config fc;
+  fc.target = 2;
+  fc.interval = microseconds(50);
+  fc.max_packets = 17;
+  fc.burst_size = 4;  // bursts must not overshoot the cap
+  UdpFlood flood(bed.sim(), bed.host(0), fc);
+  flood.start();
+  bed.settle(milliseconds(20));
+  EXPECT_EQ(flood.sent(), 17u);
+  EXPECT_FALSE(flood.running());
+  EXPECT_EQ(sink.received(), 17u);
+}
+
+TEST(UdpFloodTest, JitterKeepsLongRunRateApproximate) {
+  nftape::Testbed bed(fast_config());
+  bed.start();
+  bed.settle(milliseconds(60));
+  UdpSink sink(bed.host(1), 9);
+  UdpFlood::Config fc;
+  fc.target = 2;
+  fc.interval = microseconds(100);
+  fc.jitter = 0.5;
+  UdpFlood flood(bed.sim(), bed.host(0), fc);
+  flood.start();
+  bed.settle(milliseconds(100));
+  flood.stop();
+  // 100 ms / 100 us = ~1000 packets, within 10% despite jitter.
+  EXPECT_NEAR(static_cast<double>(flood.sent()), 1000.0, 100.0);
+}
+
+}  // namespace
+}  // namespace hsfi::host

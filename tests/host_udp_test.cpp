@@ -1,0 +1,187 @@
+// Unit tests for the UDP layer: the one's-complement checksum and — most
+// importantly — the 16-bit-swap aliasing the paper's §4.3.4 campaign
+// exploits, plus frame encode/parse and the host clock model.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "host/clock.hpp"
+#include "host/frame.hpp"
+#include "host/udp.hpp"
+
+namespace hsfi::host {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(UdpChecksumTest, DeterministicKnownValue) {
+  const auto a = ones_complement_checksum(bytes_of("Have a lot of fun"));
+  const auto b = ones_complement_checksum(bytes_of("Have a lot of fun"));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, 0);
+}
+
+TEST(UdpChecksumTest, SwappingAlignedWordsPreservesChecksum) {
+  // Paper §4.3.4: "we corrupted a UDP packet consisting of the string
+  // 'Have a lot of fun' to read instead 'veHa a lot of fun'. The checksum
+  // was unable to detect this."
+  const auto good = bytes_of("Have a lot of fun");
+  const auto swapped = bytes_of("veHa a lot of fun");
+  ASSERT_EQ(good.size(), swapped.size());
+  EXPECT_NE(good, swapped);
+  EXPECT_EQ(ones_complement_checksum(good),
+            ones_complement_checksum(swapped));
+}
+
+TEST(UdpChecksumTest, UnalignedSwapIsDetected) {
+  // "When the corruption did not satisfy the checksum, the packets were
+  // dropped." Swapping two bytes at different positions *within* a 16-bit
+  // word changes the sum (while same-parity swaps across words do not —
+  // that is exactly the aliasing the paper exploits).
+  const auto good = bytes_of("Have a lot of fun");
+  auto bad = good;
+  std::swap(bad[0], bad[1]);  // "aHve" — crosses the byte lanes of a word
+  EXPECT_NE(ones_complement_checksum(good), ones_complement_checksum(bad));
+}
+
+TEST(UdpChecksumTest, SameParityByteSwapAliases) {
+  // The complementary property: bytes 16 bits apart are interchangeable
+  // without detection ("this can be done by swapping bits that are 16 bits
+  // apart").
+  const auto good = bytes_of("Have a lot of fun");
+  auto aliased = good;
+  std::swap(aliased[1], aliased[3]);  // low bytes of adjacent words
+  EXPECT_EQ(ones_complement_checksum(good),
+            ones_complement_checksum(aliased));
+}
+
+TEST(UdpChecksumTest, SingleBitFlipsDetected) {
+  const auto msg = bytes_of("abcdefgh");
+  const auto good = ones_complement_checksum(msg);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto bad = msg;
+      bad[i] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_NE(ones_complement_checksum(bad), good);
+    }
+  }
+}
+
+TEST(UdpChecksumTest, OddLengthPadsWithZero) {
+  const std::vector<std::uint8_t> odd = {0x12, 0x34, 0x56};
+  const std::vector<std::uint8_t> padded = {0x12, 0x34, 0x56, 0x00};
+  EXPECT_EQ(ones_complement_checksum(odd), ones_complement_checksum(padded));
+}
+
+TEST(UdpChecksumTest, NeverTransmitsZero) {
+  // All-0xFF words sum to 0xFFFF -> complement 0x0000 -> transmitted 0xFFFF.
+  const std::vector<std::uint8_t> ones(4, 0xFF);
+  EXPECT_EQ(ones_complement_checksum(ones), 0xFFFF);
+}
+
+TEST(UdpCodecTest, EncodeDecodeRoundTrip) {
+  UdpDatagram d;
+  d.src_port = 1024;
+  d.dst_port = 7;
+  d.payload = bytes_of("Have a lot of fun");
+  const auto wire = encode_udp(d);
+  EXPECT_EQ(wire.size(), kUdpHeaderSize + d.payload.size());
+  const auto parsed = decode_udp(wire);
+  ASSERT_TRUE(parsed.datagram.has_value());
+  EXPECT_EQ(parsed.datagram->src_port, 1024);
+  EXPECT_EQ(parsed.datagram->dst_port, 7);
+  EXPECT_EQ(parsed.datagram->payload, d.payload);
+}
+
+TEST(UdpCodecTest, AlignedSwapInPayloadPassesDecode) {
+  // The full §4.3.4 aliasing scenario at datagram level: swap two aligned
+  // 16-bit words inside the payload of an encoded datagram; the datagram
+  // still decodes and delivers the wrong text.
+  UdpDatagram d;
+  d.src_port = 9;
+  d.dst_port = 9;
+  d.payload = bytes_of("Have a lot of fun");
+  auto wire = encode_udp(d);
+  // Payload begins at offset 8 (header), which is 16-bit aligned: swap the
+  // words "Ha" and "ve".
+  std::swap(wire[8], wire[10]);
+  std::swap(wire[9], wire[11]);
+  const auto parsed = decode_udp(wire);
+  ASSERT_TRUE(parsed.datagram.has_value()) << "aliased corruption rejected";
+  EXPECT_EQ(std::string(parsed.datagram->payload.begin(),
+                        parsed.datagram->payload.end()),
+            "veHa a lot of fun");
+}
+
+TEST(UdpCodecTest, NonAliasedCorruptionRejected) {
+  UdpDatagram d;
+  d.payload = bytes_of("Have a lot of fun");
+  auto wire = encode_udp(d);
+  wire[9] ^= 0x40;
+  const auto parsed = decode_udp(wire);
+  ASSERT_TRUE(parsed.error.has_value());
+  EXPECT_EQ(*parsed.error, UdpParseError::kBadChecksum);
+}
+
+TEST(UdpCodecTest, LengthMismatchRejected) {
+  UdpDatagram d;
+  d.payload = {1, 2, 3};
+  auto wire = encode_udp(d);
+  wire.push_back(0x00);  // trailing garbage
+  EXPECT_EQ(*decode_udp(wire).error, UdpParseError::kBadLength);
+  const std::vector<std::uint8_t> tiny = {1, 2, 3};
+  EXPECT_EQ(*decode_udp(tiny).error, UdpParseError::kTooShort);
+}
+
+TEST(FrameTest, EncodeParseRoundTrip) {
+  DataFrame f;
+  f.dst_eth = myrinet::EthAddr::from_u64(0x00A0CC000002);
+  f.src_eth = myrinet::EthAddr::from_u64(0x00A0CC000001);
+  f.dst_id = 2;
+  f.src_id = 1;
+  f.body = {9, 8, 7};
+  const auto wire = encode_frame(f);
+  EXPECT_EQ(wire.size(), kFrameHeaderSize + 3);
+  const auto parsed = parse_frame(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dst_eth, f.dst_eth);
+  EXPECT_EQ(parsed->src_eth, f.src_eth);
+  EXPECT_EQ(parsed->dst_id, 2);
+  EXPECT_EQ(parsed->src_id, 1);
+  EXPECT_EQ(parsed->body, f.body);
+}
+
+TEST(FrameTest, TruncatedFrameRejected) {
+  const std::vector<std::uint8_t> stub(kFrameHeaderSize - 1, 0);
+  EXPECT_FALSE(parse_frame(stub).has_value());
+}
+
+TEST(HostClockTest, QuantizesToTick) {
+  HostClock clock({sim::microseconds(1)}, /*boot_seed=*/1);
+  const auto w = clock.wall(sim::nanoseconds(2'499));
+  EXPECT_EQ(w % sim::microseconds(1), 0);
+}
+
+TEST(HostClockTest, PhaseDiffersAcrossBoots) {
+  HostClock a({sim::microseconds(1)}, 1);
+  HostClock b({sim::microseconds(1)}, 2);
+  // Different boots quantize differently (with overwhelming probability for
+  // these seeds; the values are deterministic, so this is not flaky).
+  EXPECT_NE(a.phase(), b.phase());
+}
+
+TEST(HostClockTest, MonotoneNondecreasing) {
+  HostClock clock({sim::microseconds(1)}, 7);
+  sim::SimTime prev = clock.wall(0);
+  for (sim::SimTime t = 0; t < sim::microseconds(20); t += sim::nanoseconds(333)) {
+    const auto w = clock.wall(t);
+    EXPECT_GE(w, prev);
+    prev = w;
+  }
+}
+
+}  // namespace
+}  // namespace hsfi::host

@@ -1,0 +1,147 @@
+// Unit tests for symbol channels: serialization timing, ordering, bursts.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "link/channel.hpp"
+#include "link/symbol.hpp"
+#include "sim/simulator.hpp"
+
+namespace hsfi::link {
+namespace {
+
+using sim::nanoseconds;
+using sim::picoseconds;
+
+constexpr sim::Duration kPeriod = picoseconds(12'500);  // 80 MB/s
+constexpr sim::Duration kProp = nanoseconds(5);         // ~1 m of cable
+
+struct Collector final : SymbolSink {
+  std::vector<Burst> bursts;
+  void on_burst(const Burst& b) override { bursts.push_back(b); }
+};
+
+TEST(SymbolTest, ToStringDistinguishesControl) {
+  EXPECT_EQ(to_string(data_symbol(0xD3)), "D3");
+  EXPECT_EQ(to_string(control_symbol(0x0C)), "c0C");
+  EXPECT_EQ(to_string(std::vector<Symbol>{data_symbol(0x01),
+                                          control_symbol(0x0F)}),
+            "01 c0F");
+}
+
+TEST(ChannelTest, DeliversBurstAfterPropagationPlusOneCharacter) {
+  sim::Simulator s;
+  Channel ch(s, "t", kPeriod, kProp);
+  Collector rx;
+  ch.attach(rx);
+
+  const std::vector<Symbol> payload = {data_symbol(1), data_symbol(2),
+                                       data_symbol(3)};
+  const sim::SimTime done = ch.transmit(payload);
+  EXPECT_EQ(done, 3 * kPeriod);
+
+  s.run();
+  ASSERT_EQ(rx.bursts.size(), 1u);
+  const Burst& b = rx.bursts[0];
+  EXPECT_EQ(b.start, kProp);
+  EXPECT_EQ(b.period, kPeriod);
+  EXPECT_EQ(b.symbols, payload);
+  EXPECT_EQ(b.arrival(0), kProp + kPeriod);
+  EXPECT_EQ(b.arrival(2), kProp + 3 * kPeriod);
+  EXPECT_EQ(b.end(), kProp + 3 * kPeriod);
+}
+
+TEST(ChannelTest, ConsecutiveSendsSerializeBackToBack) {
+  sim::Simulator s;
+  Channel ch(s, "t", kPeriod, 0);
+  Collector rx;
+  ch.attach(rx);
+
+  ch.transmit(data_symbol(1));
+  ch.transmit(data_symbol(2));
+  EXPECT_EQ(ch.transmitter_free_at(), 2 * kPeriod);
+
+  s.run();
+  ASSERT_EQ(rx.bursts.size(), 2u);
+  EXPECT_EQ(rx.bursts[0].start, 0);
+  EXPECT_EQ(rx.bursts[1].start, kPeriod);  // queued behind the first symbol
+}
+
+TEST(ChannelTest, LaterTransmitStartsAtNow) {
+  sim::Simulator s;
+  Channel ch(s, "t", kPeriod, 0);
+  Collector rx;
+  ch.attach(rx);
+
+  s.schedule_in(nanoseconds(100), [&] { ch.transmit(data_symbol(9)); });
+  s.run();
+  ASSERT_EQ(rx.bursts.size(), 1u);
+  EXPECT_EQ(rx.bursts[0].start, nanoseconds(100));
+}
+
+TEST(ChannelTest, EmptyTransmitIsNoOp) {
+  sim::Simulator s;
+  Channel ch(s, "t", kPeriod, 0);
+  Collector rx;
+  ch.attach(rx);
+  EXPECT_EQ(ch.transmit(std::span<const Symbol>{}), 0);
+  s.run();
+  EXPECT_TRUE(rx.bursts.empty());
+  EXPECT_EQ(ch.symbols_sent(), 0u);
+}
+
+TEST(ChannelTest, CountsSymbols) {
+  sim::Simulator s;
+  Channel ch(s, "t", kPeriod, 0);
+  const std::vector<Symbol> three = {data_symbol(1), data_symbol(2),
+                                     data_symbol(3)};
+  ch.transmit(three);
+  ch.transmit(data_symbol(4));
+  EXPECT_EQ(ch.symbols_sent(), 4u);
+}
+
+TEST(ChannelTest, NoSinkDropsSilently) {
+  sim::Simulator s;
+  Channel ch(s, "t", kPeriod, 0);
+  ch.transmit(data_symbol(1));
+  s.run();  // must not crash
+  EXPECT_EQ(ch.symbols_sent(), 1u);
+}
+
+TEST(DuplexLinkTest, DirectionsAreIndependent) {
+  sim::Simulator s;
+  DuplexLink cable(s, "c", kPeriod, kProp);
+  Collector at_b, at_a;
+  cable.a_to_b().attach(at_b);
+  cable.b_to_a().attach(at_a);
+
+  cable.a_to_b().transmit(data_symbol(0xAA));
+  cable.b_to_a().transmit(data_symbol(0xBB));
+  s.run();
+
+  ASSERT_EQ(at_b.bursts.size(), 1u);
+  ASSERT_EQ(at_a.bursts.size(), 1u);
+  EXPECT_EQ(at_b.bursts[0].symbols[0].data, 0xAA);
+  EXPECT_EQ(at_a.bursts[0].symbols[0].data, 0xBB);
+}
+
+TEST(ChannelTest, OrderPreservedAcrossManySends) {
+  sim::Simulator s;
+  Channel ch(s, "t", kPeriod, kProp);
+  Collector rx;
+  ch.attach(rx);
+  for (int i = 0; i < 50; ++i) ch.transmit(data_symbol(static_cast<std::uint8_t>(i)));
+  s.run();
+  ASSERT_EQ(rx.bursts.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rx.bursts[static_cast<std::size_t>(i)].symbols[0].data,
+              static_cast<std::uint8_t>(i));
+    if (i > 0) {
+      EXPECT_GT(rx.bursts[static_cast<std::size_t>(i)].start,
+                rx.bursts[static_cast<std::size_t>(i - 1)].start);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hsfi::link

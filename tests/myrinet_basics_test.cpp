@@ -1,0 +1,273 @@
+// Unit tests for the Myrinet protocol building blocks: CRC-8 (including the
+// syndrome-preserving rewrite), control-symbol decode, packet
+// serialize/parse, and the framing FSM.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "myrinet/control.hpp"
+#include "myrinet/crc8.hpp"
+#include "myrinet/framing.hpp"
+#include "myrinet/packet.hpp"
+#include "sim/rng.hpp"
+
+namespace hsfi::myrinet {
+namespace {
+
+TEST(Crc8Test, EmptyIsZero) {
+  EXPECT_EQ(crc8({}), 0x00);
+}
+
+TEST(Crc8Test, KnownVector) {
+  // CRC-8/ATM ("123456789") == 0xF4 for poly 0x07, init 0, no reflection.
+  const std::vector<std::uint8_t> msg = {'1', '2', '3', '4', '5',
+                                         '6', '7', '8', '9'};
+  EXPECT_EQ(crc8(msg), 0xF4);
+}
+
+TEST(Crc8Test, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> msg;
+  sim::Rng rng(3);
+  for (int i = 0; i < 100; ++i) msg.push_back(static_cast<std::uint8_t>(rng.next_u32()));
+  Crc8 inc;
+  for (const auto b : msg) inc.update(b);
+  EXPECT_EQ(inc.value(), crc8(msg));
+}
+
+TEST(Crc8Test, DetectsSingleBitErrors) {
+  const std::vector<std::uint8_t> msg = {0x12, 0x34, 0x56, 0x78};
+  const std::uint8_t good = crc8(msg);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto bad = msg;
+      bad[i] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_NE(crc8(bad), good) << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc8Test, PatchProducesCorrectCrcForIntactPacket) {
+  // A switch strips the first byte and rewrites the CRC: for an intact
+  // packet the result must be the correct CRC of the shortened packet.
+  const std::vector<std::uint8_t> full = {0x81, 0x00, 0x00, 0x04, 0xAB};
+  const std::uint8_t crc_full = crc8(full);
+  const std::vector<std::uint8_t> stripped(full.begin() + 1, full.end());
+  const std::uint8_t patched = patch_crc(crc_full, crc8(full), crc8(stripped));
+  EXPECT_EQ(patched, crc8(stripped));
+}
+
+TEST(Crc8Test, PatchPreservesErrorSyndrome) {
+  // Corrupt a payload byte upstream of the switch; after the switch rewrites
+  // the CRC the end host must STILL detect the corruption.
+  std::vector<std::uint8_t> full = {0x81, 0x00, 0x00, 0x04, 0xAB, 0xCD};
+  const std::uint8_t crc_at_source = crc8(full);
+  full[4] ^= 0x10;  // in-flight corruption, CRC byte unchanged
+  const std::vector<std::uint8_t> stripped(full.begin() + 1, full.end());
+  const std::uint8_t patched =
+      patch_crc(crc_at_source, crc8(full), crc8(stripped));
+  // Host computes CRC over the (still corrupted) stripped bytes.
+  EXPECT_NE(patched, crc8(stripped)) << "corruption was masked by the rewrite";
+}
+
+TEST(ControlTest, ExactCodewords) {
+  EXPECT_EQ(decode_control(0x0F), ControlSymbol::kStop);
+  EXPECT_EQ(decode_control(0x0C), ControlSymbol::kGap);
+  EXPECT_EQ(decode_control(0x03), ControlSymbol::kGo);
+  EXPECT_EQ(decode_control(0x00), ControlSymbol::kIdle);
+}
+
+TEST(ControlTest, PaperExamplesOfDroppedBits) {
+  // "0x08 will still be recognized as STOP, while 0x02 will be interpreted
+  // as GO" (paper 4.3.1).
+  EXPECT_EQ(decode_control(0x08), ControlSymbol::kStop);
+  EXPECT_EQ(decode_control(0x02), ControlSymbol::kGo);
+}
+
+TEST(ControlTest, SingleDropsOfStop) {
+  for (const int c : {0x0E, 0x0D, 0x0B, 0x07}) {
+    EXPECT_EQ(decode_control(static_cast<std::uint8_t>(c)), ControlSymbol::kStop) << c;
+  }
+}
+
+TEST(ControlTest, SingleDropOfGapAndGo) {
+  EXPECT_EQ(decode_control(0x04), ControlSymbol::kGap);
+  EXPECT_EQ(decode_control(0x01), ControlSymbol::kGo);
+}
+
+TEST(ControlTest, GarbageIsUndecodable) {
+  for (const int c : {0x05, 0x06, 0x09, 0x0A, 0x10, 0x80, 0xFF}) {
+    EXPECT_EQ(decode_control(static_cast<std::uint8_t>(c)), std::nullopt) << c;
+  }
+}
+
+TEST(ControlTest, HammingDistanceAtLeastTwo) {
+  // The paper: "control symbols are implemented so that there is a Hamming
+  // distance of at least two between any two control symbols."
+  const std::uint8_t codes[] = {0x00, 0x03, 0x0C, 0x0F};
+  for (const auto a : codes) {
+    for (const auto b : codes) {
+      if (a == b) continue;
+      EXPECT_GE(__builtin_popcount(a ^ b), 2);
+    }
+  }
+}
+
+TEST(PacketTest, SerializeLayout) {
+  Packet p;
+  p.route = {route_to_host(3)};
+  p.marker = 0x00;
+  p.type = kTypeData;
+  p.payload = {0xDE, 0xAD};
+  const auto bytes = serialize(p);
+  ASSERT_EQ(bytes.size(), 1 + 1 + 2 + 2 + 1u);
+  EXPECT_EQ(bytes[0], 0x03);  // route byte: host at port 3, MSB clear
+  EXPECT_EQ(bytes[1], 0x00);  // marker
+  EXPECT_EQ(bytes[2], 0x00);  // type hi
+  EXPECT_EQ(bytes[3], 0x04);  // type lo
+  EXPECT_EQ(bytes[4], 0xDE);
+  EXPECT_EQ(bytes[5], 0xAD);
+  EXPECT_EQ(bytes.back(), crc8({bytes.data(), bytes.size() - 1}));
+}
+
+TEST(PacketTest, RouteByteHelpers) {
+  EXPECT_EQ(route_to_switch(5), 0x85);
+  EXPECT_EQ(route_to_host(5), 0x05);
+  EXPECT_EQ(route_to_switch(0x3F), 0xBF);
+  EXPECT_EQ(route_to_host(0xFF), 0x3F);  // masked to the port field
+}
+
+TEST(PacketTest, ParseRoundTrip) {
+  Packet p;
+  p.marker = 0x00;
+  p.type = kTypeMapping;
+  p.payload = {1, 2, 3, 4, 5};
+  const auto bytes = serialize(p);  // no route: as delivered to a host
+  const Delivered d = parse_delivered(bytes);
+  EXPECT_EQ(d.status, DeliveryStatus::kOk);
+  EXPECT_EQ(d.type, kTypeMapping);
+  EXPECT_EQ(d.payload, p.payload);
+}
+
+TEST(PacketTest, ParseDetectsCrcError) {
+  Packet p;
+  p.payload = {9, 9, 9};
+  auto bytes = serialize(p);
+  bytes[4] ^= 0x01;
+  EXPECT_EQ(parse_delivered(bytes).status, DeliveryStatus::kCrcError);
+}
+
+TEST(PacketTest, ParseDetectsMarkerMsb) {
+  // "If the packet reaches a destination interface with the MSB set to one,
+  // the Myrinet standard specifies that the packet be consumed and handled
+  // as an error."
+  Packet p;
+  p.marker = 0x80;
+  p.payload = {1};
+  const auto bytes = serialize(p);
+  EXPECT_EQ(parse_delivered(bytes).status, DeliveryStatus::kMarkerError);
+}
+
+TEST(PacketTest, CrcCheckedBeforeMarker) {
+  // A corrupted frame must count as a CRC error even if the corruption also
+  // set the marker MSB.
+  Packet p;
+  p.payload = {1};
+  auto bytes = serialize(p);
+  bytes[0] = 0x80;  // corrupt marker without fixing CRC
+  EXPECT_EQ(parse_delivered(bytes).status, DeliveryStatus::kCrcError);
+}
+
+TEST(PacketTest, ParseTooShort) {
+  const std::vector<std::uint8_t> tiny = {0x00, 0x00};
+  EXPECT_EQ(parse_delivered(tiny).status, DeliveryStatus::kTooShort);
+}
+
+TEST(FramingTest, GapTerminatesFrame) {
+  Deframer d;
+  std::vector<std::vector<std::uint8_t>> frames;
+  d.on_frame([&](std::vector<std::uint8_t> f, sim::SimTime) {
+    frames.push_back(std::move(f));
+  });
+  d.feed(link::data_symbol(0xAA), 1);
+  d.feed(link::data_symbol(0xBB), 2);
+  d.feed(to_symbol(ControlSymbol::kGap), 3);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], (std::vector<std::uint8_t>{0xAA, 0xBB}));
+}
+
+TEST(FramingTest, MultipleGapsBetweenPacketsAreLegal) {
+  // "There can be any positive number of GAP packets between data packets."
+  Deframer d;
+  int frames = 0;
+  d.on_frame([&](std::vector<std::uint8_t>, sim::SimTime) { ++frames; });
+  d.feed(link::data_symbol(0x01), 1);
+  d.feed(to_symbol(ControlSymbol::kGap), 2);
+  d.feed(to_symbol(ControlSymbol::kGap), 3);
+  d.feed(to_symbol(ControlSymbol::kGap), 4);
+  d.feed(link::data_symbol(0x02), 5);
+  d.feed(to_symbol(ControlSymbol::kGap), 6);
+  EXPECT_EQ(frames, 2);
+}
+
+TEST(FramingTest, FlowSymbolsBypassFraming) {
+  Deframer d;
+  std::vector<ControlSymbol> flow;
+  std::vector<std::vector<std::uint8_t>> frames;
+  d.on_frame([&](std::vector<std::uint8_t> f, sim::SimTime) {
+    frames.push_back(std::move(f));
+  });
+  d.on_flow([&](ControlSymbol c, sim::SimTime) { flow.push_back(c); });
+  d.feed(link::data_symbol(0x11), 1);
+  d.feed(to_symbol(ControlSymbol::kStop), 2);  // interleaved flow control
+  d.feed(link::data_symbol(0x22), 3);
+  d.feed(to_symbol(ControlSymbol::kGo), 4);
+  d.feed(to_symbol(ControlSymbol::kGap), 5);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], (std::vector<std::uint8_t>{0x11, 0x22}));
+  EXPECT_EQ(flow, (std::vector<ControlSymbol>{ControlSymbol::kStop,
+                                              ControlSymbol::kGo}));
+}
+
+TEST(FramingTest, IdleAndNoiseAreTransparent) {
+  Deframer d;
+  std::vector<std::vector<std::uint8_t>> frames;
+  d.on_frame([&](std::vector<std::uint8_t> f, sim::SimTime) {
+    frames.push_back(std::move(f));
+  });
+  d.feed(link::data_symbol(0x42), 1);
+  d.feed(to_symbol(ControlSymbol::kIdle), 2);
+  d.feed(link::control_symbol(0x55), 3);  // undecodable junk
+  d.feed(link::data_symbol(0x43), 4);
+  d.feed(to_symbol(ControlSymbol::kGap), 5);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], (std::vector<std::uint8_t>{0x42, 0x43}));
+  EXPECT_EQ(d.ignored_control_codes(), 1u);
+}
+
+TEST(FramingTest, FrameSymbolsAppendsGap) {
+  const std::vector<std::uint8_t> bytes = {1, 2, 3};
+  const auto symbols = frame_symbols(bytes);
+  ASSERT_EQ(symbols.size(), 4u);
+  EXPECT_FALSE(symbols[0].control);
+  EXPECT_TRUE(symbols[3].control);
+  EXPECT_EQ(symbols[3].data, encoding(ControlSymbol::kGap));
+}
+
+TEST(FramingTest, LostGapMergesFrames) {
+  // The failure mode behind the paper's GAP-corruption campaign: without the
+  // terminating GAP two packets merge into one (and will fail CRC).
+  Deframer d;
+  std::vector<std::vector<std::uint8_t>> frames;
+  d.on_frame([&](std::vector<std::uint8_t> f, sim::SimTime) {
+    frames.push_back(std::move(f));
+  });
+  d.feed(link::data_symbol(0x01), 1);
+  d.feed(to_symbol(ControlSymbol::kIdle), 2);  // GAP corrupted into IDLE
+  d.feed(link::data_symbol(0x02), 3);
+  d.feed(to_symbol(ControlSymbol::kGap), 4);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], (std::vector<std::uint8_t>{0x01, 0x02}));
+}
+
+}  // namespace
+}  // namespace hsfi::myrinet

@@ -1,0 +1,115 @@
+// Tests for the synthesis resource model and its Table 1 reproduction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/injector_board.hpp"
+#include "netlist/resources.hpp"
+
+namespace hsfi::netlist {
+namespace {
+
+double deviation(std::int64_t est, std::int64_t paper) {
+  if (paper == 0) return est == 0 ? 0.0 : 1.0;
+  return std::abs(static_cast<double>(est - paper)) /
+         static_cast<double>(paper);
+}
+
+TEST(ResourcesTest, ArithmeticComposes) {
+  const Resources a{1, 2, 3, 4};
+  const Resources b{10, 20, 30, 40};
+  const Resources sum = a + b;
+  EXPECT_EQ(sum, (Resources{11, 22, 33, 44}));
+  EXPECT_EQ(a * 2, (Resources{2, 4, 6, 8}));
+}
+
+TEST(EntityModelTest, PrimitivesAccumulate) {
+  EntityModel m("test");
+  m.registers("r", 16);
+  m.counter("c", 8);
+  m.lut_logic("l", 10);
+  m.mux_bus("m", 4, 3);
+  const auto t = m.total();
+  EXPECT_EQ(t.d_flip_flops, 16 + 8);
+  EXPECT_EQ(t.function_generators, 8 + 10);
+  EXPECT_EQ(t.multiplexors, 8);
+  EXPECT_EQ(m.blocks().size(), 4u);
+}
+
+TEST(EntityModelTest, DistributedRamScalesWithDepth) {
+  EntityModel shallow("s");
+  shallow.distributed_ram("r", 8, 16, false);
+  EntityModel deep("d");
+  deep.distributed_ram("r", 8, 64, false);
+  EXPECT_EQ(shallow.total().function_generators, 8);
+  EXPECT_EQ(deep.total().function_generators, 32);
+  EXPECT_GT(deep.total().multiplexors, 0);
+  EntityModel dual("x");
+  dual.distributed_ram("r", 8, 16, true);
+  EXPECT_EQ(dual.total().function_generators, 16);
+}
+
+TEST(Table1Test, HasAllSixEntitiesInPaperOrder) {
+  const auto rows = injector_fpga_entities();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].model.name(), "Clck_gen");
+  EXPECT_EQ(rows[1].model.name(), "Comm");
+  EXPECT_EQ(rows[2].model.name(), "Inst_dec");
+  EXPECT_EQ(rows[3].model.name(), "Out_gen");
+  EXPECT_EQ(rows[4].model.name(), "SPI");
+  EXPECT_EQ(rows[5].model.name(), "FIFO_Inject");
+  EXPECT_EQ(rows[5].instances, 2);  // "two instances ... were needed"
+}
+
+TEST(Table1Test, PaperColumnsSumToPublishedTotals) {
+  const auto rows = injector_fpga_entities();
+  Resources paper;
+  for (const auto& r : rows) paper += r.paper;
+  EXPECT_EQ(paper, paper_table1_total());
+  EXPECT_EQ(paper.gates, 2275);
+  EXPECT_EQ(paper.function_generators, 2339);
+  EXPECT_EQ(paper.multiplexors, 383);
+  EXPECT_EQ(paper.d_flip_flops, 1173);
+}
+
+TEST(Table1Test, EstimatesTrackPaperWithinTolerance) {
+  // Structural estimates per entity: flip-flop and mux counts are exact by
+  // construction (they follow the register map); gate/LUT equivalents are
+  // tool-dependent and allowed wider slack.
+  for (const auto& row : injector_fpga_entities()) {
+    const auto est = row.estimated();
+    EXPECT_EQ(est.d_flip_flops, row.paper.d_flip_flops) << row.model.name();
+    EXPECT_EQ(est.multiplexors, row.paper.multiplexors) << row.model.name();
+    EXPECT_LE(deviation(est.function_generators,
+                        row.paper.function_generators),
+              0.15)
+        << row.model.name();
+    EXPECT_LE(deviation(est.gates, row.paper.gates), 0.35)
+        << row.model.name();
+  }
+}
+
+TEST(Table1Test, FifoInjectorDominatesLikeThePaper) {
+  // Shape check: the datapath entity dwarfs the control plane.
+  const auto rows = injector_fpga_entities();
+  const auto fifo = rows[5].estimated();
+  Resources rest;
+  for (std::size_t i = 0; i < 5; ++i) rest += rows[i].estimated();
+  EXPECT_GT(fifo.function_generators, 2 * rest.function_generators);
+  EXPECT_GT(fifo.d_flip_flops, rest.d_flip_flops);
+  EXPECT_GT(fifo.multiplexors, 5 * rest.multiplexors);
+}
+
+TEST(Table1Test, RenderContainsEveryEntityAndTotals) {
+  const auto text = render_table1(injector_fpga_entities());
+  for (const char* name :
+       {"Clck_gen", "Comm", "Inst_dec", "Out_gen", "SPI", "FIFO_Inject",
+        "Total"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("2275"), std::string::npos);
+  EXPECT_NE(text.find("1173"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsfi::netlist

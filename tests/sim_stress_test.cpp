@@ -1,0 +1,121 @@
+// Stress/property tests for the event queue and simulator: random
+// schedule/cancel interleavings must preserve time order, cancellation
+// exactness, and determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace hsfi::sim {
+namespace {
+
+class QueueStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueueStress, RandomScheduleCancelPreservesOrderAndCounts) {
+  EventQueue q;
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  std::vector<EventId> live;
+  std::uint64_t scheduled = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t fired = 0;
+  SimTime last_fired = -1;
+  std::uint64_t expected_live = 0;
+
+  for (int i = 0; i < 20'000; ++i) {
+    const double dice = rng.uniform();
+    if (dice < 0.5) {
+      const SimTime when = last_fired + 1 + rng.range(0, 1000);
+      live.push_back(q.schedule(when, [&fired] { ++fired; }));
+      ++scheduled;
+      ++expected_live;
+    } else if (dice < 0.7 && !live.empty()) {
+      const auto idx = rng.below(static_cast<std::uint32_t>(live.size()));
+      q.cancel(live[idx]);
+      live.erase(live.begin() + idx);
+      ++cancelled;
+      --expected_live;
+    } else if (!q.empty()) {
+      auto f = q.pop();
+      EXPECT_GE(f.when, last_fired) << "time went backwards";
+      last_fired = f.when;
+      f.action();
+      --expected_live;
+      // Remove from our live list if present (it may have been popped).
+      for (std::size_t k = 0; k < live.size(); ++k) {
+        if (live[k] == f.id) {
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(q.size(), expected_live);
+  }
+  while (!q.empty()) {
+    auto f = q.pop();
+    EXPECT_GE(f.when, last_fired);
+    last_fired = f.when;
+    f.action();
+  }
+  EXPECT_EQ(fired, scheduled - cancelled);
+}
+
+TEST_P(QueueStress, DoubleCancelAndPostFireCancelAreHarmless) {
+  EventQueue q;
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 77);
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 500; ++i) {
+    ids.push_back(q.schedule(rng.range(0, 100), [&fired] { ++fired; }));
+  }
+  // Cancel a random half, some of them twice.
+  int cancelled_once = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    q.cancel(ids[i]);
+    ++cancelled_once;
+    if (i % 4 == 0) q.cancel(ids[i]);  // double cancel
+  }
+  while (!q.empty()) q.pop().action();
+  for (const auto id : ids) q.cancel(id);  // post-fire cancels
+  EXPECT_EQ(fired, 500 - cancelled_once);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueStress, ::testing::Range(1, 6));
+
+TEST(SimulatorStressTest, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    Simulator s;
+    Rng rng(42);
+    std::vector<SimTime> trace;
+    std::function<void()> spawn = [&] {
+      trace.push_back(s.now());
+      if (trace.size() < 2000) {
+        s.schedule_in(rng.range(1, 500), spawn);
+        if (rng.chance(0.3)) s.schedule_in(rng.range(1, 500), spawn);
+      }
+    };
+    s.schedule_in(0, spawn);
+    s.run_until(seconds(1));
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimulatorStressTest, RunUntilThenRunResumesSeamlessly) {
+  Simulator s;
+  int count = 0;
+  for (int i = 1; i <= 100; ++i) {
+    s.schedule_in(microseconds(i), [&count] { ++count; });
+  }
+  s.run_until(microseconds(50));
+  EXPECT_EQ(count, 50);
+  EXPECT_EQ(s.now(), microseconds(50));
+  s.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(s.executed_events(), 100u);
+}
+
+}  // namespace
+}  // namespace hsfi::sim

@@ -1,0 +1,84 @@
+// Tests for the event-trace integration: the testbed's entities record
+// mapping rounds, configuration applications, and long timeouts into an
+// attached TraceLog.
+#include <gtest/gtest.h>
+
+#include "nftape/faults.hpp"
+#include "nftape/testbed.hpp"
+#include "sim/log.hpp"
+
+namespace hsfi::nftape {
+namespace {
+
+using sim::milliseconds;
+
+TEST(TraceTest, MappingRoundsAndConfigAppear) {
+  TestbedConfig config;
+  config.map_period = milliseconds(20);
+  config.map_reply_window = milliseconds(2);
+  Testbed bed(config);
+  sim::TraceLog trace(sim::LogLevel::kInfo);
+  bed.set_trace(&trace);
+  bed.start();
+  bed.settle(milliseconds(80));
+  bed.injector().apply(core::Direction::kLeftToRight,
+                       udp_word_swap_have_to_veha());
+  bed.settle(milliseconds(5));
+
+  const auto text = trace.render();
+  EXPECT_NE(text.find("mapping round"), std::string::npos);
+  EXPECT_NE(text.find("installs map"), std::string::npos);
+  EXPECT_NE(text.find("configured: MODE ON"), std::string::npos);
+  EXPECT_NE(text.find("CMPD 48617665"), std::string::npos);
+}
+
+TEST(TraceTest, ThresholdSuppressesInfo) {
+  TestbedConfig config;
+  config.map_period = milliseconds(20);
+  Testbed bed(config);
+  sim::TraceLog trace(sim::LogLevel::kError);
+  bed.set_trace(&trace);
+  bed.start();
+  bed.settle(milliseconds(80));
+  EXPECT_TRUE(trace.records().empty());
+}
+
+TEST(TraceTest, SinkReceivesRecordsLive) {
+  TestbedConfig config;
+  config.map_period = milliseconds(20);
+  Testbed bed(config);
+  sim::TraceLog trace(sim::LogLevel::kInfo);
+  int live = 0;
+  trace.set_sink([&live](const sim::LogRecord&) { ++live; });
+  bed.set_trace(&trace);
+  bed.start();
+  bed.settle(milliseconds(80));
+  EXPECT_GT(live, 0);
+  EXPECT_EQ(static_cast<std::size_t>(live), trace.records().size());
+}
+
+TEST(TraceTest, LongTimeoutLogsWarning) {
+  // Wedge a path on a raw switch (header byte, no GAP) with a trace
+  // attached: the reclaim must log at WARN.
+  sim::Simulator simr;
+  myrinet::Switch::Config sc;
+  sc.long_timeout = sim::microseconds(100);
+  myrinet::Switch sw(simr, "sw", sc);
+  sim::TraceLog trace(sim::LogLevel::kWarn);
+  sw.set_trace(&trace);
+  link::DuplexLink c0(simr, "c0", sim::picoseconds(12'500),
+                      sim::nanoseconds(5));
+  link::DuplexLink c1(simr, "c1", sim::picoseconds(12'500),
+                      sim::nanoseconds(5));
+  sw.attach_port(0, c0.a_to_b(), c0.b_to_a());
+  sw.attach_port(1, c1.a_to_b(), c1.b_to_a());
+  c0.a_to_b().transmit(
+      link::data_symbol(myrinet::route_to_host(1)));  // headless
+  simr.run_until(sim::milliseconds(1));
+  const auto text = trace.render();
+  EXPECT_NE(text.find("long-period timeout"), std::string::npos);
+  EXPECT_NE(text.find("WARN"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsfi::nftape

@@ -1,0 +1,106 @@
+// Timing and framing tests for the UART/SPI path: RS-232 byte pacing at
+// the configured baud rate, in-order delivery, the boot-configuration
+// gate, and SPI frame validity.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/uart.hpp"
+#include "sim/simulator.hpp"
+
+namespace hsfi::core {
+namespace {
+
+TEST(UartTest, BytePacedAtBaudRate) {
+  sim::Simulator sim;
+  Uart uart(sim);
+  uart.configure();
+  std::vector<sim::SimTime> arrivals;
+  uart.on_spi_rx([&](std::uint16_t frame) {
+    ASSERT_TRUE(spi_frame_valid(frame));
+    arrivals.push_back(sim.now());
+  });
+  for (int i = 0; i < 10; ++i) {
+    uart.rs232_write(static_cast<std::uint8_t>('A' + i));
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 10u);
+  // 115200 baud, 10 bits per byte => ~86.8 us between bytes.
+  const auto byte_time = uart.byte_time();
+  EXPECT_NEAR(sim::to_microseconds(byte_time), 86.8, 0.1);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i] - arrivals[i - 1], byte_time);
+  }
+}
+
+TEST(UartTest, CustomBaudChangesPacing) {
+  sim::Simulator sim;
+  Uart::Config cfg;
+  cfg.baud = 9'600;
+  Uart uart(sim, cfg);
+  EXPECT_NEAR(sim::to_microseconds(uart.byte_time()), 1041.7, 0.5);
+}
+
+TEST(UartTest, UnconfiguredChipDropsInbound) {
+  // "The communications handler configures the UART on boot-up" — before
+  // that, nothing reaches the FPGA.
+  sim::Simulator sim;
+  Uart uart(sim);
+  int got = 0;
+  uart.on_spi_rx([&](std::uint16_t) { ++got; });
+  uart.rs232_write('X');
+  sim.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(uart.bytes_to_fpga(), 0u);
+
+  uart.configure();
+  uart.rs232_write('Y');
+  sim.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(uart.bytes_to_fpga(), 1u);
+}
+
+TEST(UartTest, TransmitPathPacedAndOrdered) {
+  sim::Simulator sim;
+  Uart uart(sim);
+  uart.configure();
+  std::vector<std::uint8_t> got;
+  std::vector<sim::SimTime> when;
+  uart.on_rs232_read([&](std::uint8_t b) {
+    got.push_back(b);
+    when.push_back(sim.now());
+  });
+  for (int i = 0; i < 5; ++i) {
+    uart.spi_tx(spi_frame(static_cast<std::uint8_t>('0' + i)));
+  }
+  uart.spi_tx(0x0042);  // invalid frame: must be ignored
+  sim.run();
+  ASSERT_EQ(got.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], '0' + i);
+  }
+  for (std::size_t i = 1; i < when.size(); ++i) {
+    EXPECT_EQ(when[i] - when[i - 1], uart.byte_time());
+  }
+  EXPECT_EQ(uart.bytes_to_host(), 5u);
+}
+
+TEST(UartTest, FullDuplexDirectionsIndependent) {
+  sim::Simulator sim;
+  Uart uart(sim);
+  uart.configure();
+  int up = 0;
+  int down = 0;
+  uart.on_spi_rx([&](std::uint16_t) { ++up; });
+  uart.on_rs232_read([&](std::uint8_t) { ++down; });
+  for (int i = 0; i < 20; ++i) {
+    uart.rs232_write(0x11);
+    uart.spi_tx(spi_frame(0x22));
+  }
+  sim.run();
+  EXPECT_EQ(up, 20);
+  EXPECT_EQ(down, 20);
+}
+
+}  // namespace
+}  // namespace hsfi::core
