@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_slack_buffer.dir/bench_fig9_slack_buffer.cpp.o"
+  "CMakeFiles/bench_fig9_slack_buffer.dir/bench_fig9_slack_buffer.cpp.o.d"
+  "bench_fig9_slack_buffer"
+  "bench_fig9_slack_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_slack_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

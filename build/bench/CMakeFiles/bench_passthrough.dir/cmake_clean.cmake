@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_passthrough.dir/bench_passthrough.cpp.o"
+  "CMakeFiles/bench_passthrough.dir/bench_passthrough.cpp.o.d"
+  "bench_passthrough"
+  "bench_passthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_passthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

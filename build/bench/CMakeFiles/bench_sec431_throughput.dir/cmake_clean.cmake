@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec431_throughput.dir/bench_sec431_throughput.cpp.o"
+  "CMakeFiles/bench_sec431_throughput.dir/bench_sec431_throughput.cpp.o.d"
+  "bench_sec431_throughput"
+  "bench_sec431_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec431_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec432_packet_type.dir/bench_sec432_packet_type.cpp.o"
+  "CMakeFiles/bench_sec432_packet_type.dir/bench_sec432_packet_type.cpp.o.d"
+  "bench_sec432_packet_type"
+  "bench_sec432_packet_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec432_packet_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

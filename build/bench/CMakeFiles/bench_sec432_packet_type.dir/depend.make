@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec432_packet_type.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec433_address_corruption.dir/bench_sec433_address_corruption.cpp.o"
+  "CMakeFiles/bench_sec433_address_corruption.dir/bench_sec433_address_corruption.cpp.o.d"
+  "bench_sec433_address_corruption"
+  "bench_sec433_address_corruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec433_address_corruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

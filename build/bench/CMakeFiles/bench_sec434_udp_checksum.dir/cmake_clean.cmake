@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec434_udp_checksum.dir/bench_sec434_udp_checksum.cpp.o"
+  "CMakeFiles/bench_sec434_udp_checksum.dir/bench_sec434_udp_checksum.cpp.o.d"
+  "bench_sec434_udp_checksum"
+  "bench_sec434_udp_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec434_udp_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec434_udp_checksum.
+# This may be replaced when dependencies are built.

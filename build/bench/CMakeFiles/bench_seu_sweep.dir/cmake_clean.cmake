@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seu_sweep.dir/bench_seu_sweep.cpp.o"
+  "CMakeFiles/bench_seu_sweep.dir/bench_seu_sweep.cpp.o.d"
+  "bench_seu_sweep"
+  "bench_seu_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seu_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

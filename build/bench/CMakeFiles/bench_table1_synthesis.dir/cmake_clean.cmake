@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_synthesis.dir/bench_table1_synthesis.cpp.o"
+  "CMakeFiles/bench_table1_synthesis.dir/bench_table1_synthesis.cpp.o.d"
+  "bench_table1_synthesis"
+  "bench_table1_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_control_symbols.dir/bench_table4_control_symbols.cpp.o"
+  "CMakeFiles/bench_table4_control_symbols.dir/bench_table4_control_symbols.cpp.o.d"
+  "bench_table4_control_symbols"
+  "bench_table4_control_symbols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_control_symbols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

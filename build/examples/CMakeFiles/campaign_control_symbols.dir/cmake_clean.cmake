@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_control_symbols.dir/campaign_control_symbols.cpp.o"
+  "CMakeFiles/campaign_control_symbols.dir/campaign_control_symbols.cpp.o.d"
+  "campaign_control_symbols"
+  "campaign_control_symbols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_control_symbols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_media_monitor.dir/dual_media_monitor.cpp.o"
+  "CMakeFiles/dual_media_monitor.dir/dual_media_monitor.cpp.o.d"
+  "dual_media_monitor"
+  "dual_media_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_media_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

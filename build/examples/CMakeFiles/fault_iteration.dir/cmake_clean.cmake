@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_iteration.dir/fault_iteration.cpp.o"
+  "CMakeFiles/fault_iteration.dir/fault_iteration.cpp.o.d"
+  "fault_iteration"
+  "fault_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_storm.dir/mapping_storm.cpp.o"
+  "CMakeFiles/mapping_storm.dir/mapping_storm.cpp.o.d"
+  "mapping_storm"
+  "mapping_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_checksum_alias.dir/udp_checksum_alias.cpp.o"
+  "CMakeFiles/udp_checksum_alias.dir/udp_checksum_alias.cpp.o.d"
+  "udp_checksum_alias"
+  "udp_checksum_alias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_checksum_alias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

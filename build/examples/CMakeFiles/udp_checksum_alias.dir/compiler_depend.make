@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for udp_checksum_alias.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for udp_checksum_alias.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/capture.cpp" "src/core/CMakeFiles/hsfi_core.dir/capture.cpp.o" "gcc" "src/core/CMakeFiles/hsfi_core.dir/capture.cpp.o.d"
+  "/root/repo/src/core/command_plane.cpp" "src/core/CMakeFiles/hsfi_core.dir/command_plane.cpp.o" "gcc" "src/core/CMakeFiles/hsfi_core.dir/command_plane.cpp.o.d"
+  "/root/repo/src/core/crc_repatch.cpp" "src/core/CMakeFiles/hsfi_core.dir/crc_repatch.cpp.o" "gcc" "src/core/CMakeFiles/hsfi_core.dir/crc_repatch.cpp.o.d"
+  "/root/repo/src/core/device.cpp" "src/core/CMakeFiles/hsfi_core.dir/device.cpp.o" "gcc" "src/core/CMakeFiles/hsfi_core.dir/device.cpp.o.d"
+  "/root/repo/src/core/fifo_injector.cpp" "src/core/CMakeFiles/hsfi_core.dir/fifo_injector.cpp.o" "gcc" "src/core/CMakeFiles/hsfi_core.dir/fifo_injector.cpp.o.d"
+  "/root/repo/src/core/injector_config.cpp" "src/core/CMakeFiles/hsfi_core.dir/injector_config.cpp.o" "gcc" "src/core/CMakeFiles/hsfi_core.dir/injector_config.cpp.o.d"
+  "/root/repo/src/core/rtl_fifo_injector.cpp" "src/core/CMakeFiles/hsfi_core.dir/rtl_fifo_injector.cpp.o" "gcc" "src/core/CMakeFiles/hsfi_core.dir/rtl_fifo_injector.cpp.o.d"
+  "/root/repo/src/core/sequencer.cpp" "src/core/CMakeFiles/hsfi_core.dir/sequencer.cpp.o" "gcc" "src/core/CMakeFiles/hsfi_core.dir/sequencer.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/hsfi_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/hsfi_core.dir/stats.cpp.o.d"
+  "/root/repo/src/core/uart.cpp" "src/core/CMakeFiles/hsfi_core.dir/uart.cpp.o" "gcc" "src/core/CMakeFiles/hsfi_core.dir/uart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hsfi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/hsfi_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/myrinet/CMakeFiles/hsfi_myrinet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

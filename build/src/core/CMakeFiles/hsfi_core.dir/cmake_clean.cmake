@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsfi_core.dir/capture.cpp.o"
+  "CMakeFiles/hsfi_core.dir/capture.cpp.o.d"
+  "CMakeFiles/hsfi_core.dir/command_plane.cpp.o"
+  "CMakeFiles/hsfi_core.dir/command_plane.cpp.o.d"
+  "CMakeFiles/hsfi_core.dir/crc_repatch.cpp.o"
+  "CMakeFiles/hsfi_core.dir/crc_repatch.cpp.o.d"
+  "CMakeFiles/hsfi_core.dir/device.cpp.o"
+  "CMakeFiles/hsfi_core.dir/device.cpp.o.d"
+  "CMakeFiles/hsfi_core.dir/fifo_injector.cpp.o"
+  "CMakeFiles/hsfi_core.dir/fifo_injector.cpp.o.d"
+  "CMakeFiles/hsfi_core.dir/injector_config.cpp.o"
+  "CMakeFiles/hsfi_core.dir/injector_config.cpp.o.d"
+  "CMakeFiles/hsfi_core.dir/rtl_fifo_injector.cpp.o"
+  "CMakeFiles/hsfi_core.dir/rtl_fifo_injector.cpp.o.d"
+  "CMakeFiles/hsfi_core.dir/sequencer.cpp.o"
+  "CMakeFiles/hsfi_core.dir/sequencer.cpp.o.d"
+  "CMakeFiles/hsfi_core.dir/stats.cpp.o"
+  "CMakeFiles/hsfi_core.dir/stats.cpp.o.d"
+  "CMakeFiles/hsfi_core.dir/uart.cpp.o"
+  "CMakeFiles/hsfi_core.dir/uart.cpp.o.d"
+  "libhsfi_core.a"
+  "libhsfi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsfi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

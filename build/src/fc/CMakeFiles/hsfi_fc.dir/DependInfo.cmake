@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fc/enc8b10b.cpp" "src/fc/CMakeFiles/hsfi_fc.dir/enc8b10b.cpp.o" "gcc" "src/fc/CMakeFiles/hsfi_fc.dir/enc8b10b.cpp.o.d"
+  "/root/repo/src/fc/fabric.cpp" "src/fc/CMakeFiles/hsfi_fc.dir/fabric.cpp.o" "gcc" "src/fc/CMakeFiles/hsfi_fc.dir/fabric.cpp.o.d"
+  "/root/repo/src/fc/frame.cpp" "src/fc/CMakeFiles/hsfi_fc.dir/frame.cpp.o" "gcc" "src/fc/CMakeFiles/hsfi_fc.dir/frame.cpp.o.d"
+  "/root/repo/src/fc/port.cpp" "src/fc/CMakeFiles/hsfi_fc.dir/port.cpp.o" "gcc" "src/fc/CMakeFiles/hsfi_fc.dir/port.cpp.o.d"
+  "/root/repo/src/fc/sequence.cpp" "src/fc/CMakeFiles/hsfi_fc.dir/sequence.cpp.o" "gcc" "src/fc/CMakeFiles/hsfi_fc.dir/sequence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hsfi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/hsfi_link.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsfi_fc.dir/enc8b10b.cpp.o"
+  "CMakeFiles/hsfi_fc.dir/enc8b10b.cpp.o.d"
+  "CMakeFiles/hsfi_fc.dir/fabric.cpp.o"
+  "CMakeFiles/hsfi_fc.dir/fabric.cpp.o.d"
+  "CMakeFiles/hsfi_fc.dir/frame.cpp.o"
+  "CMakeFiles/hsfi_fc.dir/frame.cpp.o.d"
+  "CMakeFiles/hsfi_fc.dir/port.cpp.o"
+  "CMakeFiles/hsfi_fc.dir/port.cpp.o.d"
+  "CMakeFiles/hsfi_fc.dir/sequence.cpp.o"
+  "CMakeFiles/hsfi_fc.dir/sequence.cpp.o.d"
+  "libhsfi_fc.a"
+  "libhsfi_fc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsfi_fc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

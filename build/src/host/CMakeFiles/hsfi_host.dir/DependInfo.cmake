@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/frame.cpp" "src/host/CMakeFiles/hsfi_host.dir/frame.cpp.o" "gcc" "src/host/CMakeFiles/hsfi_host.dir/frame.cpp.o.d"
+  "/root/repo/src/host/node.cpp" "src/host/CMakeFiles/hsfi_host.dir/node.cpp.o" "gcc" "src/host/CMakeFiles/hsfi_host.dir/node.cpp.o.d"
+  "/root/repo/src/host/ping.cpp" "src/host/CMakeFiles/hsfi_host.dir/ping.cpp.o" "gcc" "src/host/CMakeFiles/hsfi_host.dir/ping.cpp.o.d"
+  "/root/repo/src/host/traffic.cpp" "src/host/CMakeFiles/hsfi_host.dir/traffic.cpp.o" "gcc" "src/host/CMakeFiles/hsfi_host.dir/traffic.cpp.o.d"
+  "/root/repo/src/host/udp.cpp" "src/host/CMakeFiles/hsfi_host.dir/udp.cpp.o" "gcc" "src/host/CMakeFiles/hsfi_host.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hsfi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/hsfi_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/myrinet/CMakeFiles/hsfi_myrinet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsfi_host.dir/frame.cpp.o"
+  "CMakeFiles/hsfi_host.dir/frame.cpp.o.d"
+  "CMakeFiles/hsfi_host.dir/node.cpp.o"
+  "CMakeFiles/hsfi_host.dir/node.cpp.o.d"
+  "CMakeFiles/hsfi_host.dir/ping.cpp.o"
+  "CMakeFiles/hsfi_host.dir/ping.cpp.o.d"
+  "CMakeFiles/hsfi_host.dir/traffic.cpp.o"
+  "CMakeFiles/hsfi_host.dir/traffic.cpp.o.d"
+  "CMakeFiles/hsfi_host.dir/udp.cpp.o"
+  "CMakeFiles/hsfi_host.dir/udp.cpp.o.d"
+  "libhsfi_host.a"
+  "libhsfi_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsfi_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

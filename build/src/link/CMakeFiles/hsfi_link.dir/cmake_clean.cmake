@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsfi_link.dir/channel.cpp.o"
+  "CMakeFiles/hsfi_link.dir/channel.cpp.o.d"
+  "CMakeFiles/hsfi_link.dir/symbol.cpp.o"
+  "CMakeFiles/hsfi_link.dir/symbol.cpp.o.d"
+  "libhsfi_link.a"
+  "libhsfi_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsfi_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/myrinet/addr.cpp" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/addr.cpp.o" "gcc" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/addr.cpp.o.d"
+  "/root/repo/src/myrinet/control.cpp" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/control.cpp.o" "gcc" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/control.cpp.o.d"
+  "/root/repo/src/myrinet/flow_gate.cpp" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/flow_gate.cpp.o" "gcc" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/flow_gate.cpp.o.d"
+  "/root/repo/src/myrinet/framing.cpp" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/framing.cpp.o" "gcc" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/framing.cpp.o.d"
+  "/root/repo/src/myrinet/host_iface.cpp" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/host_iface.cpp.o" "gcc" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/host_iface.cpp.o.d"
+  "/root/repo/src/myrinet/mcp.cpp" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/mcp.cpp.o" "gcc" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/mcp.cpp.o.d"
+  "/root/repo/src/myrinet/mmon.cpp" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/mmon.cpp.o" "gcc" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/mmon.cpp.o.d"
+  "/root/repo/src/myrinet/packet.cpp" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/packet.cpp.o" "gcc" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/packet.cpp.o.d"
+  "/root/repo/src/myrinet/slack_buffer.cpp" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/slack_buffer.cpp.o" "gcc" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/slack_buffer.cpp.o.d"
+  "/root/repo/src/myrinet/switch.cpp" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/switch.cpp.o" "gcc" "src/myrinet/CMakeFiles/hsfi_myrinet.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hsfi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/hsfi_link.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

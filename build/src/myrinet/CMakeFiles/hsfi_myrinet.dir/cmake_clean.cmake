@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsfi_myrinet.dir/addr.cpp.o"
+  "CMakeFiles/hsfi_myrinet.dir/addr.cpp.o.d"
+  "CMakeFiles/hsfi_myrinet.dir/control.cpp.o"
+  "CMakeFiles/hsfi_myrinet.dir/control.cpp.o.d"
+  "CMakeFiles/hsfi_myrinet.dir/flow_gate.cpp.o"
+  "CMakeFiles/hsfi_myrinet.dir/flow_gate.cpp.o.d"
+  "CMakeFiles/hsfi_myrinet.dir/framing.cpp.o"
+  "CMakeFiles/hsfi_myrinet.dir/framing.cpp.o.d"
+  "CMakeFiles/hsfi_myrinet.dir/host_iface.cpp.o"
+  "CMakeFiles/hsfi_myrinet.dir/host_iface.cpp.o.d"
+  "CMakeFiles/hsfi_myrinet.dir/mcp.cpp.o"
+  "CMakeFiles/hsfi_myrinet.dir/mcp.cpp.o.d"
+  "CMakeFiles/hsfi_myrinet.dir/mmon.cpp.o"
+  "CMakeFiles/hsfi_myrinet.dir/mmon.cpp.o.d"
+  "CMakeFiles/hsfi_myrinet.dir/packet.cpp.o"
+  "CMakeFiles/hsfi_myrinet.dir/packet.cpp.o.d"
+  "CMakeFiles/hsfi_myrinet.dir/slack_buffer.cpp.o"
+  "CMakeFiles/hsfi_myrinet.dir/slack_buffer.cpp.o.d"
+  "CMakeFiles/hsfi_myrinet.dir/switch.cpp.o"
+  "CMakeFiles/hsfi_myrinet.dir/switch.cpp.o.d"
+  "libhsfi_myrinet.a"
+  "libhsfi_myrinet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsfi_myrinet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

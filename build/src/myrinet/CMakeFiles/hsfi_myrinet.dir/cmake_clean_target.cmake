@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhsfi_myrinet.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsfi_netlist.dir/injector_board.cpp.o"
+  "CMakeFiles/hsfi_netlist.dir/injector_board.cpp.o.d"
+  "CMakeFiles/hsfi_netlist.dir/resources.cpp.o"
+  "CMakeFiles/hsfi_netlist.dir/resources.cpp.o.d"
+  "libhsfi_netlist.a"
+  "libhsfi_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsfi_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

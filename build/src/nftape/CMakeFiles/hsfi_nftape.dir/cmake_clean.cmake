@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsfi_nftape.dir/campaign.cpp.o"
+  "CMakeFiles/hsfi_nftape.dir/campaign.cpp.o.d"
+  "CMakeFiles/hsfi_nftape.dir/faults.cpp.o"
+  "CMakeFiles/hsfi_nftape.dir/faults.cpp.o.d"
+  "CMakeFiles/hsfi_nftape.dir/report.cpp.o"
+  "CMakeFiles/hsfi_nftape.dir/report.cpp.o.d"
+  "CMakeFiles/hsfi_nftape.dir/testbed.cpp.o"
+  "CMakeFiles/hsfi_nftape.dir/testbed.cpp.o.d"
+  "libhsfi_nftape.a"
+  "libhsfi_nftape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsfi_nftape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsfi_phy.dir/serdes.cpp.o"
+  "CMakeFiles/hsfi_phy.dir/serdes.cpp.o.d"
+  "libhsfi_phy.a"
+  "libhsfi_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsfi_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsfi_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/hsfi_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/hsfi_sim.dir/log.cpp.o"
+  "CMakeFiles/hsfi_sim.dir/log.cpp.o.d"
+  "CMakeFiles/hsfi_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hsfi_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/hsfi_sim.dir/time.cpp.o"
+  "CMakeFiles/hsfi_sim.dir/time.cpp.o.d"
+  "libhsfi_sim.a"
+  "libhsfi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsfi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/command_plane_fuzz_test.dir/command_plane_fuzz_test.cpp.o"
+  "CMakeFiles/command_plane_fuzz_test.dir/command_plane_fuzz_test.cpp.o.d"
+  "command_plane_fuzz_test"
+  "command_plane_fuzz_test.pdb"
+  "command_plane_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/command_plane_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_command_plane_test.dir/core_command_plane_test.cpp.o"
+  "CMakeFiles/core_command_plane_test.dir/core_command_plane_test.cpp.o.d"
+  "core_command_plane_test"
+  "core_command_plane_test.pdb"
+  "core_command_plane_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_command_plane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_lfsr_test.dir/core_lfsr_test.cpp.o"
+  "CMakeFiles/core_lfsr_test.dir/core_lfsr_test.cpp.o.d"
+  "core_lfsr_test"
+  "core_lfsr_test.pdb"
+  "core_lfsr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_lfsr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_rtl_crossval_test.dir/core_rtl_crossval_test.cpp.o"
+  "CMakeFiles/core_rtl_crossval_test.dir/core_rtl_crossval_test.cpp.o.d"
+  "core_rtl_crossval_test"
+  "core_rtl_crossval_test.pdb"
+  "core_rtl_crossval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_rtl_crossval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sequencer_test.dir/core_sequencer_test.cpp.o"
+  "CMakeFiles/core_sequencer_test.dir/core_sequencer_test.cpp.o.d"
+  "core_sequencer_test"
+  "core_sequencer_test.pdb"
+  "core_sequencer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sequencer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_fabric_test.dir/fc_fabric_test.cpp.o"
+  "CMakeFiles/fc_fabric_test.dir/fc_fabric_test.cpp.o.d"
+  "fc_fabric_test"
+  "fc_fabric_test.pdb"
+  "fc_fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_injector_test.dir/fc_injector_test.cpp.o"
+  "CMakeFiles/fc_injector_test.dir/fc_injector_test.cpp.o.d"
+  "fc_injector_test"
+  "fc_injector_test.pdb"
+  "fc_injector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_injector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

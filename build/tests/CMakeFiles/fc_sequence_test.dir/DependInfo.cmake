@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fc_sequence_test.cpp" "tests/CMakeFiles/fc_sequence_test.dir/fc_sequence_test.cpp.o" "gcc" "tests/CMakeFiles/fc_sequence_test.dir/fc_sequence_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fc/CMakeFiles/hsfi_fc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hsfi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/myrinet/CMakeFiles/hsfi_myrinet.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/hsfi_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hsfi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

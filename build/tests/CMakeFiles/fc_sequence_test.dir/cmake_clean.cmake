@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_sequence_test.dir/fc_sequence_test.cpp.o"
+  "CMakeFiles/fc_sequence_test.dir/fc_sequence_test.cpp.o.d"
+  "fc_sequence_test"
+  "fc_sequence_test.pdb"
+  "fc_sequence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_test.dir/fc_test.cpp.o"
+  "CMakeFiles/fc_test.dir/fc_test.cpp.o.d"
+  "fc_test"
+  "fc_test.pdb"
+  "fc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

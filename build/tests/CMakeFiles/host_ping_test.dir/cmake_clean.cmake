@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_ping_test.dir/host_ping_test.cpp.o"
+  "CMakeFiles/host_ping_test.dir/host_ping_test.cpp.o.d"
+  "host_ping_test"
+  "host_ping_test.pdb"
+  "host_ping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_ping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myrinet_basics_test.dir/myrinet_basics_test.cpp.o"
+  "CMakeFiles/myrinet_basics_test.dir/myrinet_basics_test.cpp.o.d"
+  "myrinet_basics_test"
+  "myrinet_basics_test.pdb"
+  "myrinet_basics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myrinet_basics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

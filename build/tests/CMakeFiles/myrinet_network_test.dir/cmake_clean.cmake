@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myrinet_network_test.dir/myrinet_network_test.cpp.o"
+  "CMakeFiles/myrinet_network_test.dir/myrinet_network_test.cpp.o.d"
+  "myrinet_network_test"
+  "myrinet_network_test.pdb"
+  "myrinet_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myrinet_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

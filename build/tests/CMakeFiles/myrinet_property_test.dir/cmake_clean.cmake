@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myrinet_property_test.dir/myrinet_property_test.cpp.o"
+  "CMakeFiles/myrinet_property_test.dir/myrinet_property_test.cpp.o.d"
+  "myrinet_property_test"
+  "myrinet_property_test.pdb"
+  "myrinet_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myrinet_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nftape_campaign_test.dir/nftape_campaign_test.cpp.o"
+  "CMakeFiles/nftape_campaign_test.dir/nftape_campaign_test.cpp.o.d"
+  "nftape_campaign_test"
+  "nftape_campaign_test.pdb"
+  "nftape_campaign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nftape_campaign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_config_sweep_test.dir/switch_config_sweep_test.cpp.o"
+  "CMakeFiles/switch_config_sweep_test.dir/switch_config_sweep_test.cpp.o.d"
+  "switch_config_sweep_test"
+  "switch_config_sweep_test.pdb"
+  "switch_config_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_config_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_robustness_test.dir/switch_robustness_test.cpp.o"
+  "CMakeFiles/switch_robustness_test.dir/switch_robustness_test.cpp.o.d"
+  "switch_robustness_test"
+  "switch_robustness_test.pdb"
+  "switch_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

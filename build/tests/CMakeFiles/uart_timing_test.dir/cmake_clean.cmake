@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uart_timing_test.dir/uart_timing_test.cpp.o"
+  "CMakeFiles/uart_timing_test.dir/uart_timing_test.cpp.o.d"
+  "uart_timing_test"
+  "uart_timing_test.pdb"
+  "uart_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uart_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

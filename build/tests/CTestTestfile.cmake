@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/link_test[1]_include.cmake")
+include("/root/repo/build/tests/myrinet_basics_test[1]_include.cmake")
+include("/root/repo/build/tests/myrinet_network_test[1]_include.cmake")
+include("/root/repo/build/tests/core_fifo_injector_test[1]_include.cmake")
+include("/root/repo/build/tests/core_device_test[1]_include.cmake")
+include("/root/repo/build/tests/core_command_plane_test[1]_include.cmake")
+include("/root/repo/build/tests/host_udp_test[1]_include.cmake")
+include("/root/repo/build/tests/host_stack_test[1]_include.cmake")
+include("/root/repo/build/tests/fc_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/nftape_campaign_test[1]_include.cmake")
+include("/root/repo/build/tests/myrinet_property_test[1]_include.cmake")
+include("/root/repo/build/tests/core_property_test[1]_include.cmake")
+include("/root/repo/build/tests/switch_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/fc_injector_test[1]_include.cmake")
+include("/root/repo/build/tests/core_lfsr_test[1]_include.cmake")
+include("/root/repo/build/tests/multiswitch_test[1]_include.cmake")
+include("/root/repo/build/tests/core_sequencer_test[1]_include.cmake")
+include("/root/repo/build/tests/fc_fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/core_rtl_crossval_test[1]_include.cmake")
+include("/root/repo/build/tests/command_plane_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/fc_sequence_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/uart_timing_test[1]_include.cmake")
+include("/root/repo/build/tests/host_ping_test[1]_include.cmake")
+include("/root/repo/build/tests/switch_config_sweep_test[1]_include.cmake")
