@@ -8,29 +8,20 @@
 // caught by the link CRC-8 (raw bit flips are exactly what it protects
 // against) — the network fails silent, never dirty, matching the paper's
 // "passive faults" conclusion in §4.4.
+//
+// Runs through the orchestrator worker pool (one private testbed per rate
+// point), so the sweep scales with cores and every row is seeded
+// independently of execution order.
 #include <cstdio>
 
-#include "nftape/campaign.hpp"
 #include "nftape/faults.hpp"
 #include "nftape/report.hpp"
-#include "nftape/testbed.hpp"
+#include "orchestrator/runner.hpp"
+#include "orchestrator/sweep.hpp"
 
 using namespace hsfi;
 
 int main() {
-  nftape::TestbedConfig config;
-  config.map_period = sim::milliseconds(100);
-  config.nic_config.rx_processing_time = sim::microseconds(1);
-  config.send_stack_time = sim::microseconds(1);
-  nftape::Testbed bed(config);
-  bed.start();
-  bed.settle(sim::milliseconds(150));
-  nftape::CampaignRunner runner(bed);
-
-  nftape::Report report("Random SEU injection sweep (paper 3.1 fault model)");
-  report.set_header({"LFSR mask", "~flip rate", "injections", "sent",
-                     "received", "loss", "CRC-8 drops", "delivered dirty"});
-
   const struct {
     std::uint16_t mask;
     const char* rate;
@@ -40,25 +31,49 @@ int main() {
       {0x003F, "1/64 chars"},
   };
 
+  orchestrator::SweepSpec sweep;
+  sweep.name = "seu";
+  sweep.testbed.map_period = sim::milliseconds(100);
+  sweep.testbed.nic_config.rx_processing_time = sim::microseconds(1);
+  sweep.testbed.send_stack_time = sim::microseconds(1);
+  sweep.base.warmup = sim::milliseconds(10);
+  sweep.base.duration = sim::milliseconds(150);
+  sweep.base.drain = sim::milliseconds(10);
+  sweep.base.workload.udp_interval = sim::microseconds(20);
+  sweep.base.workload.payload_size = 128;
+  sweep.directions = {orchestrator::FaultDirection::kBoth};
   for (const auto& point : points) {
-    nftape::CampaignSpec spec;
-    spec.name = nftape::cell("seu-%04X", point.mask);
-    spec.fault_to_switch = nftape::random_bit_flip_seu(point.mask);
-    spec.fault_from_switch = spec.fault_to_switch;
-    spec.warmup = sim::milliseconds(10);
-    spec.duration = sim::milliseconds(150);
-    spec.drain = sim::milliseconds(10);
-    spec.workload.udp_interval = sim::microseconds(20);
-    spec.workload.payload_size = 128;
-    std::printf("running %s...\n", spec.name.c_str());
-    const auto r = runner.run(spec);
+    sweep.faults.push_back({nftape::cell("seu-%04X", point.mask),
+                            nftape::random_bit_flip_seu(point.mask)});
+  }
+
+  const auto runs = orchestrator::expand(sweep);
+  orchestrator::RunnerConfig rc;
+  rc.on_progress = [](const orchestrator::Progress& p) {
+    std::fprintf(stderr, "\r%zu/%zu campaigns done   ", p.completed + p.failed,
+                 p.total);
+  };
+  const auto records = orchestrator::Runner(rc).run_all(runs);
+  std::fprintf(stderr, "\n");
+
+  nftape::Report report("Random SEU injection sweep (paper 3.1 fault model)");
+  report.set_header({"LFSR mask", "~flip rate", "injections", "sent",
+                     "received", "loss", "CRC-8 drops", "delivered dirty"});
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i].result;
+    if (records[i].outcome != orchestrator::RunOutcome::kOk) {
+      report.add_row({nftape::cell("0x%04X", points[i].mask), points[i].rate,
+                      std::string(orchestrator::to_string(records[i].outcome)),
+                      "-", "-", "-", "-", "-"});
+      continue;
+    }
     // "Dirty" deliveries would be upsets that slipped past every check —
     // corrupted payload handed to the application. The checksum layers
     // make these effectively impossible; anything not accounted to a
     // detector below is ordinary loss, not dirt, but we report the bound.
     const std::uint64_t detected = r.link_crc_errors + r.udp_checksum_drops +
                                    r.marker_errors + r.unknown_type_drops;
-    report.add_row({nftape::cell("0x%04X", point.mask), point.rate,
+    report.add_row({nftape::cell("0x%04X", points[i].mask), points[i].rate,
                     nftape::cell("%llu", (unsigned long long)r.injections),
                     nftape::cell("%llu", (unsigned long long)r.messages_sent),
                     nftape::cell("%llu", (unsigned long long)r.messages_received),

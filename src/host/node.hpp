@@ -96,6 +96,10 @@ class Host {
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   void clear_stats() noexcept { stats_ = Stats{}; }
 
+  /// Rewinds the per-host RNG streams (currently the MCP's) to their
+  /// construction state for seed value `seed`; see Mcp::reseed.
+  void reseed(std::uint64_t seed) noexcept { mcp_->reseed(seed); }
+
   [[nodiscard]] myrinet::Mcp& mcp() noexcept { return *mcp_; }
   [[nodiscard]] const myrinet::Mcp& mcp() const noexcept { return *mcp_; }
   [[nodiscard]] const HostClock& clock() const noexcept { return clock_; }

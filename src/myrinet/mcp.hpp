@@ -120,6 +120,13 @@ class Mcp {
   /// Optional event trace (rounds, installs, confusion); not owned.
   void set_trace(sim::TraceLog* trace) noexcept { trace_ = trace; }
 
+  /// Rewinds the RNG stream to the state a freshly constructed MCP with
+  /// `seed` would have. Campaign runs reset this so a sequence of runs on
+  /// one testbed equals the same runs on fresh testbeds.
+  void reseed(std::uint64_t seed) noexcept {
+    rng_ = sim::Rng(seed, config_.address);
+  }
+
  private:
   void begin_round();
   void finish_round();

@@ -5,6 +5,7 @@
 
 #include "host/traffic.hpp"
 #include "nftape/faults.hpp"
+#include "sim/rng.hpp"
 
 namespace hsfi::nftape {
 
@@ -55,8 +56,37 @@ CampaignRunner::Snapshot CampaignRunner::take_snapshot() const {
   return s;
 }
 
-CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
-  bed_.reset_to_known_good();
+void CampaignRunner::settle_checked(sim::Duration span,
+                                    const RunControl* control,
+                                    sim::Duration* elapsed) {
+  if (control == nullptr || !control->should_cancel) {
+    bed_.settle(span);
+    *elapsed += span;
+    return;
+  }
+  const sim::Duration chunk =
+      control->poll_interval > 0 ? control->poll_interval : span;
+  sim::Duration left = span;
+  while (left > 0) {
+    if (control->should_cancel(*elapsed)) {
+      throw RunCancelled("campaign run cancelled by watchdog");
+    }
+    const sim::Duration step = left < chunk ? left : chunk;
+    bed_.settle(step);
+    *elapsed += step;
+    left -= step;
+  }
+  if (control->should_cancel(*elapsed)) {
+    throw RunCancelled("campaign run cancelled by watchdog");
+  }
+}
+
+CampaignResult CampaignRunner::run(const CampaignSpec& spec,
+                                   const RunControl* control) {
+  const std::uint64_t seed =
+      spec.seed != 0 ? spec.seed : bed_.config().seed;
+  bed_.reset_to_known_good(seed);
+  sim::Duration elapsed = 0;
 
   // Program the fault. The serial path is the authentic NFTAPE control
   // loop; the direct path is available for unit tests.
@@ -76,7 +106,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
   program(core::Direction::kRightToLeft,
           spec.fault_from_switch.value_or(off));
   // Let the serial exchange (and anything in flight) finish.
-  bed_.settle(sim::milliseconds(30));
+  settle_checked(sim::milliseconds(30), control, &elapsed);
 
   // Workload: every node floods its peers; every node sinks the port.
   std::vector<std::unique_ptr<host::UdpSink>> sinks;
@@ -98,18 +128,18 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
       fc.interval = spec.workload.udp_interval;
       fc.burst_size = spec.workload.burst_size;
       fc.jitter = spec.workload.jitter;
-      fc.seed = 100 + i * 8 + j;
+      fc.seed = sim::derive_seed(seed, 100 + i * 16 + j);
       floods.push_back(
           std::make_unique<host::UdpFlood>(bed_.sim(), bed_.host(i), fc));
     }
   }
   for (auto& f : floods) f->start();
 
-  bed_.settle(spec.warmup);
+  settle_checked(spec.warmup, control, &elapsed);
   const Snapshot before = take_snapshot();
-  bed_.settle(spec.duration);
+  settle_checked(spec.duration, control, &elapsed);
   for (auto& f : floods) f->stop();
-  bed_.settle(spec.drain);
+  settle_checked(spec.drain, control, &elapsed);
   const Snapshot after = take_snapshot();
 
   // Disarm the injector for whoever runs next. Only the match mode is
@@ -128,10 +158,10 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
   }
   // Give the network time to re-map so the next campaign starts from a
   // known good state even if this fault damaged the routing tables.
-  bed_.settle(sim::milliseconds(30));
+  settle_checked(sim::milliseconds(30), control, &elapsed);
   const sim::Duration recovery =
       bed_.config().map_period + bed_.config().map_reply_window;
-  bed_.settle(recovery);
+  settle_checked(recovery, control, &elapsed);
 
   CampaignResult r;
   r.name = spec.name;

@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "core/injector_config.hpp"
@@ -50,6 +52,30 @@ struct CampaignSpec {
   sim::Duration duration = sim::milliseconds(1000);
   sim::Duration drain = sim::milliseconds(20);
   WorkloadSpec workload;
+  /// Seed for everything stochastic in this run: the workload generators and
+  /// the per-host RNG streams reset by `Testbed::reset_to_known_good`. With
+  /// an explicit seed a single-threaded sequence of N runs on one testbed is
+  /// equal to N independent runs — the property the parallel orchestrator
+  /// relies on for worker-count-independent results. 0 = inherit the
+  /// testbed's construction seed.
+  std::uint64_t seed = 0;
+};
+
+/// Thrown by CampaignRunner::run when a RunControl cancels the run.
+class RunCancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Cooperative watchdog hook. The runner splits its settle() calls into
+/// poll_interval chunks and calls should_cancel between chunks with the
+/// simulated time elapsed so far in this run; a true return aborts the run
+/// with RunCancelled. Cancellation is cooperative on simulated-time chunk
+/// boundaries — the watchdog owner decides policy (wall-clock deadline,
+/// simulated-time cap, external kill switch).
+struct RunControl {
+  sim::Duration poll_interval = sim::milliseconds(10);
+  std::function<bool(sim::Duration elapsed_sim)> should_cancel;
 };
 
 struct CampaignResult {
@@ -90,11 +116,16 @@ class CampaignRunner {
 
   /// Resets to the known good state, programs the fault, applies the
   /// workload for the measurement window, and collects the result.
-  CampaignResult run(const CampaignSpec& spec);
+  /// `control`, when given, is polled between simulation chunks and may
+  /// cancel the run (throws RunCancelled).
+  CampaignResult run(const CampaignSpec& spec,
+                     const RunControl* control = nullptr);
 
  private:
   struct Snapshot;
   Snapshot take_snapshot() const;
+  void settle_checked(sim::Duration span, const RunControl* control,
+                      sim::Duration* elapsed);
 
   Testbed& bed_;
 };

@@ -89,9 +89,10 @@ void Testbed::set_trace(sim::TraceLog* trace) {
   if (injector_) injector_->set_trace(trace);
 }
 
-void Testbed::reset_to_known_good() {
+void Testbed::reset_to_known_good(std::uint64_t seed) {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     nodes_[i]->host->clear_stats();
+    if (seed != 0) nodes_[i]->host->reseed(seed + i);
     nodes_[i]->nic->reset_for_campaign();
     for (std::size_t j = 0; j < nodes_.size(); ++j) {
       if (i == j) continue;

@@ -75,8 +75,11 @@ class Testbed {
   void settle(sim::Duration span);
 
   /// Clears host/NIC/injector statistics (between campaign runs) and
-  /// re-seeds the peer caches.
-  void reset_to_known_good();
+  /// re-seeds the peer caches. `seed` != 0 also rewinds every host's RNG
+  /// stream to the state a fresh testbed built with that seed would have,
+  /// so repeated runs on one bed match independent runs on fresh beds
+  /// (host i gets stream seed + i, as in the constructor).
+  void reset_to_known_good(std::uint64_t seed = 0);
 
   [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }

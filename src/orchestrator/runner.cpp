@@ -1,0 +1,226 @@
+#include "orchestrator/runner.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "nftape/testbed.hpp"
+#include "orchestrator/jsonl.hpp"
+#include "sim/time.hpp"
+
+namespace hsfi::orchestrator {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// The production executor: a private Testbed per run (thread isolation),
+/// startup settle under the watchdog, then the campaign itself.
+nftape::CampaignResult default_execute(const RunSpec& run,
+                                       const nftape::RunControl& control) {
+  nftape::Testbed bed(run.testbed);
+  bed.start();
+  sim::Duration elapsed = 0;
+  const sim::Duration chunk =
+      control.poll_interval > 0 ? control.poll_interval : run.startup_settle;
+  sim::Duration left = run.startup_settle;
+  while (left > 0) {
+    if (control.should_cancel && control.should_cancel(elapsed)) {
+      throw nftape::RunCancelled("cancelled during testbed startup");
+    }
+    const sim::Duration step = left < chunk ? left : chunk;
+    bed.settle(step);
+    elapsed += step;
+    left -= step;
+  }
+  nftape::CampaignRunner runner(bed);
+  return runner.run(run.campaign, &control);
+}
+
+}  // namespace
+
+std::string_view to_string(RunOutcome o) noexcept {
+  switch (o) {
+    case RunOutcome::kOk: return "ok";
+    case RunOutcome::kTimedOut: return "timed_out";
+    case RunOutcome::kError: return "error";
+  }
+  return "?";
+}
+
+std::string to_jsonl(const RunRecord& r, bool include_timing) {
+  JsonObject o;
+  o.add_u64("run", r.index);
+  o.add("name", r.name);
+  o.add_u64("seed", r.seed);
+  o.add("outcome", to_string(r.outcome));
+  o.add_i64("attempts", r.attempts);
+  o.add_i64("timeouts", r.timeouts);
+  if (!r.error.empty()) o.add("error", r.error);
+  if (r.outcome == RunOutcome::kOk) {
+    const auto& c = r.result;
+    o.add_u64("sent", c.messages_sent);
+    o.add_u64("received", c.messages_received);
+    o.add_fixed("loss_pct", 100.0 * c.loss_rate(), 4);
+    o.add_fixed("window_ms", sim::to_milliseconds(c.window), 3);
+    o.add_u64("injections", c.injections);
+    o.add_u64("crc_errors", c.link_crc_errors);
+    o.add_u64("marker_errors", c.marker_errors);
+    o.add_u64("ring_overflows", c.ring_overflows);
+    o.add_u64("udp_drops", c.udp_checksum_drops);
+    o.add_u64("misaddressed", c.misaddressed_drops);
+    o.add_u64("unroutable", c.unroutable_drops);
+    o.add_u64("unknown_type", c.unknown_type_drops);
+    o.add_u64("tx_drops", c.nic_tx_drops);
+    o.add_u64("slack_overflow", c.slack_overflow);
+    o.add_u64("long_timeouts", c.long_timeouts);
+  }
+  if (include_timing) o.add_fixed("wall_ms", r.wall_ms, 3);
+  return o.str();
+}
+
+nftape::Report summarize(const std::string& title,
+                         const std::vector<RunRecord>& records) {
+  nftape::Report report(title);
+  report.set_header({"run", "name", "outcome", "attempts", "sent", "received",
+                     "loss", "injections"});
+  std::size_t ok = 0, timed_out = 0, errors = 0;
+  double wall_ms = 0.0;
+  for (const auto& r : records) {
+    const auto& c = r.result;
+    report.add_row(
+        {nftape::cell("%zu", r.index), r.name,
+         std::string(to_string(r.outcome)), nftape::cell("%d", r.attempts),
+         nftape::cell("%llu", (unsigned long long)c.messages_sent),
+         nftape::cell("%llu", (unsigned long long)c.messages_received),
+         nftape::cell("%.2f%%", 100.0 * c.loss_rate()),
+         nftape::cell("%llu", (unsigned long long)c.injections)});
+    wall_ms += r.wall_ms;
+    switch (r.outcome) {
+      case RunOutcome::kOk: ++ok; break;
+      case RunOutcome::kTimedOut: ++timed_out; break;
+      case RunOutcome::kError: ++errors; break;
+    }
+  }
+  report.add_note(nftape::cell(
+      "%zu ok, %zu timed out, %zu errored; %.1f s of worker wall time", ok,
+      timed_out, errors, wall_ms / 1e3));
+  return report;
+}
+
+Runner::Runner(RunnerConfig config) : config_(std::move(config)) {}
+
+void Runner::execute_one(const RunSpec& run, RunRecord& rec) {
+  rec.index = run.index;
+  rec.name = run.campaign.name;
+  rec.seed = run.seed;
+
+  // Auto simulated-time cap: generous for a healthy run of this spec's own
+  // span, fatal for a livelocked simulation.
+  const sim::Duration span = run.startup_settle + sim::milliseconds(60) +
+                             run.campaign.warmup + run.campaign.duration +
+                             run.campaign.drain + run.testbed.map_period +
+                             run.testbed.map_reply_window;
+  const sim::Duration sim_cap =
+      config_.sim_limit > 0 ? config_.sim_limit : 8 * span;
+  const int attempts_allowed =
+      1 + (config_.max_retries > 0 ? config_.max_retries : 0);
+
+  for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
+    const auto start = std::chrono::steady_clock::now();
+    nftape::RunControl control;
+    control.poll_interval = config_.poll_interval;
+    control.should_cancel = [this, start, sim_cap](sim::Duration elapsed) {
+      if (cancelled_.load(std::memory_order_relaxed)) return true;
+      if (config_.wall_limit.count() > 0 &&
+          std::chrono::steady_clock::now() - start >= config_.wall_limit) {
+        return true;
+      }
+      return elapsed >= sim_cap;
+    };
+    ++rec.attempts;
+    try {
+      auto result = config_.executor ? config_.executor(run, control)
+                                     : default_execute(run, control);
+      rec.wall_ms += ms_since(start);
+      rec.result = std::move(result);
+      rec.outcome = RunOutcome::kOk;
+      rec.error.clear();
+      return;
+    } catch (const nftape::RunCancelled& e) {
+      rec.wall_ms += ms_since(start);
+      ++rec.timeouts;
+      rec.outcome = RunOutcome::kTimedOut;
+      rec.error = e.what();
+      // An external cancel() is not a hung run; don't burn a retry on it.
+      if (cancelled_.load(std::memory_order_relaxed)) return;
+    } catch (const std::exception& e) {
+      rec.wall_ms += ms_since(start);
+      rec.outcome = RunOutcome::kError;
+      rec.error = e.what();
+    }
+  }
+}
+
+std::vector<RunRecord> Runner::run_all(const std::vector<RunSpec>& runs) {
+  std::vector<RunRecord> records(runs.size());
+  if (runs.empty()) return records;
+
+  std::size_t workers = config_.workers != 0
+                            ? config_.workers
+                            : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, runs.size());
+
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;  // guards progress + both callbacks
+  Progress progress;
+  progress.total = runs.size();
+
+  const auto work = [&] {
+    for (;;) {
+      const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
+      if (idx >= runs.size()) return;
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        ++progress.in_flight;
+        if (config_.on_progress) config_.on_progress(progress);
+      }
+      execute_one(runs[idx], records[idx]);
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        --progress.in_flight;
+        const RunRecord& rec = records[idx];
+        if (rec.outcome == RunOutcome::kOk) {
+          ++progress.completed;
+        } else {
+          ++progress.failed;
+        }
+        if (rec.attempts > 1) {
+          progress.retries += static_cast<std::size_t>(rec.attempts - 1);
+        }
+        if (config_.on_record) config_.on_record(rec);
+        if (config_.on_progress) config_.on_progress(progress);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) pool.emplace_back(work);
+  for (auto& t : pool) t.join();
+  return records;
+}
+
+void JsonlSink::write(const RunRecord& record) {
+  const std::string line = to_jsonl(record, timing_);
+  const std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << '\n';
+  out_.flush();
+}
+
+}  // namespace hsfi::orchestrator

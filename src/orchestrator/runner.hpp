@@ -1,0 +1,132 @@
+// Parallel campaign execution: a fixed-size worker pool over expanded
+// sweep runs, with per-run watchdogs, one retry, and JSONL result records.
+//
+// Thread model (see DESIGN.md "Orchestrator"): the simulation core is
+// single-threaded by design; parallelism happens strictly at run
+// granularity. Each worker constructs a private Testbed + Simulator per
+// run, so no simulation state is ever shared between threads — the only
+// cross-thread traffic is the run-index counter, the per-record slots
+// (disjoint per run), and the progress/record callbacks (serialized by a
+// mutex). Seeds are derived from (base_seed, run index) before execution
+// starts, so results are bit-identical regardless of worker count or
+// completion order.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nftape/campaign.hpp"
+#include "nftape/report.hpp"
+#include "orchestrator/sweep.hpp"
+
+namespace hsfi::orchestrator {
+
+enum class RunOutcome : std::uint8_t {
+  kOk,        ///< campaign completed and produced a result
+  kTimedOut,  ///< watchdog cancelled every attempt
+  kError,     ///< executor threw (non-watchdog)
+};
+
+[[nodiscard]] std::string_view to_string(RunOutcome o) noexcept;
+
+/// One line of the campaign log: everything about one run.
+struct RunRecord {
+  std::size_t index = 0;
+  std::string name;
+  std::uint64_t seed = 0;
+  RunOutcome outcome = RunOutcome::kError;
+  int attempts = 0;  ///< executor invocations (1 normally, 2 after a retry)
+  int timeouts = 0;  ///< attempts the watchdog cancelled
+  std::string error;  ///< what() of the last non-watchdog failure
+  nftape::CampaignResult result;  ///< valid when outcome == kOk
+  double wall_ms = 0.0;  ///< wall time across attempts (nondeterministic)
+};
+
+/// Serializes a record as one JSONL line (no trailing newline). Field
+/// order is fixed. `include_timing` appends wall_ms — deliberately opt-in,
+/// because wall time is the one nondeterministic field and leaving it out
+/// keeps sorted JSONL byte-identical across worker counts.
+[[nodiscard]] std::string to_jsonl(const RunRecord& record,
+                                   bool include_timing = false);
+
+/// Aggregate table over a finished sweep: one row per run plus totals.
+[[nodiscard]] nftape::Report summarize(const std::string& title,
+                                       const std::vector<RunRecord>& records);
+
+struct Progress {
+  std::size_t total = 0;
+  std::size_t completed = 0;  ///< finished ok
+  std::size_t failed = 0;     ///< finished timed_out or error
+  std::size_t in_flight = 0;
+  std::size_t retries = 0;    ///< attempts beyond the first, so far
+};
+
+struct RunnerConfig {
+  /// Worker threads. 0 = std::thread::hardware_concurrency().
+  std::size_t workers = 0;
+  /// Per-attempt wall-clock cap. 0 = none.
+  std::chrono::milliseconds wall_limit{0};
+  /// Per-attempt simulated-time cap. 0 = auto: 8x the run's own simulated
+  /// span (startup + programming + window + recovery) — generous for a
+  /// healthy run, fatal for a livelocked one.
+  sim::Duration sim_limit = 0;
+  /// Retries after a watchdog timeout or executor error (same seed).
+  int max_retries = 1;
+  /// Watchdog poll granularity in simulated time (RunControl chunking).
+  sim::Duration poll_interval = sim::milliseconds(10);
+  /// Called (serialized) after every run completes.
+  std::function<void(const Progress&)> on_progress;
+  /// Called (serialized) with each finished record, in completion order —
+  /// the streaming JSONL hook.
+  std::function<void(const RunRecord&)> on_record;
+  /// Executes one attempt; used by tests to substitute hostile executors.
+  /// Default: build an isolated Testbed, settle startup, run the campaign
+  /// under `control`. Must throw nftape::RunCancelled when cancelled.
+  std::function<nftape::CampaignResult(const RunSpec&,
+                                       const nftape::RunControl&)>
+      executor;
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerConfig config = {});
+
+  /// Executes every run and returns records indexed by RunSpec::index.
+  /// Blocks until all runs finish (or are cancelled).
+  std::vector<RunRecord> run_all(const std::vector<RunSpec>& runs);
+
+  /// Cooperative kill switch: in-flight runs are cancelled at their next
+  /// watchdog poll (marked timed_out, no retry); queued runs still start
+  /// but cancel immediately.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+ private:
+  void execute_one(const RunSpec& run, RunRecord& record);
+
+  RunnerConfig config_;
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Thread-safe streaming sink: one JSONL line per finished record, in
+/// completion order. Plug `sink` into RunnerConfig::on_record.
+class JsonlSink {
+ public:
+  explicit JsonlSink(std::ostream& out, bool include_timing = false)
+      : out_(out), timing_(include_timing) {}
+
+  void write(const RunRecord& record);
+
+ private:
+  std::ostream& out_;
+  bool timing_;
+  std::mutex mu_;
+};
+
+}  // namespace hsfi::orchestrator

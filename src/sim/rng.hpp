@@ -70,4 +70,23 @@ class Rng {
   std::uint64_t inc_;
 };
 
+/// SplitMix64 output function (Steele/Lea/Flood): a single avalanche pass
+/// with full 64-bit dispersion. Used to derive independent seeds from a
+/// counter — the weakness PCG seeding alone would have (nearby seeds produce
+/// correlated first draws) is exactly what campaign replicates would hit.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Derives the seed for sub-stream `index` of `base`. Deterministic and
+/// order-free: run i of a campaign sweep gets the same seed no matter which
+/// worker executes it or in what order runs complete.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t base,
+                                                  std::uint64_t index) noexcept {
+  return splitmix64(base ^ splitmix64(index));
+}
+
 }  // namespace hsfi::sim
