@@ -63,7 +63,8 @@ Rates run_condition(const Condition& condition) {
   host::UdpSink test_program(bed.host(1), 9);
   std::uint64_t monitored = 0;
   test_program.on_receive([&monitored](host::HostId src,
-                                       const host::UdpDatagram&) {
+                                       const host::UdpDatagram&,
+                                       sim::SimTime) {
     if (src == 1) ++monitored;  // only node 0's messages
   });
   std::vector<std::unique_ptr<host::UdpSink>> other_sinks;

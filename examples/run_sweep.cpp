@@ -43,8 +43,9 @@ std::vector<orchestrator::FaultPoint> fault_axis() {
   };
 }
 
-void usage() {
-  std::printf(
+void usage(std::FILE* to = stdout) {
+  std::fprintf(
+      to,
       "usage: run_sweep [options]\n"
       "  --workers N      worker threads (default: hardware concurrency)\n"
       "  --seed S         base seed; per-run seeds derive from it (default 1)\n"
@@ -70,21 +71,37 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    // Both lambdas bound-check i before reading argv[++i]: a flag at the
+    // end of the command line must not read past argv, and a non-numeric
+    // value must not silently parse as 0.
     const auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::fprintf(stderr, "%s needs a value\n\n", arg.c_str());
+        usage(stderr);
         std::exit(1);
       }
       return argv[++i];
     };
+    const auto numeric = [&]() -> long long {
+      const char* v = value();
+      char* end = nullptr;
+      const long long parsed = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr, "%s needs a non-negative integer, got '%s'\n\n",
+                     arg.c_str(), v);
+        usage(stderr);
+        std::exit(1);
+      }
+      return parsed;
+    };
     if (arg == "--workers") {
-      workers = static_cast<std::size_t>(std::atol(value()));
+      workers = static_cast<std::size_t>(numeric());
     } else if (arg == "--seed") {
-      seed = static_cast<std::uint64_t>(std::atoll(value()));
+      seed = static_cast<std::uint64_t>(numeric());
     } else if (arg == "--replicates") {
-      replicates = static_cast<std::size_t>(std::atol(value()));
+      replicates = static_cast<std::size_t>(numeric());
     } else if (arg == "--duration-ms") {
-      duration_ms = std::atol(value());
+      duration_ms = static_cast<long>(numeric());
     } else if (arg == "--out") {
       out_path = value();
     } else if (arg == "--timing") {
@@ -94,9 +111,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--list") {
       for (const auto& f : fault_axis()) std::printf("%s\n", f.name.c_str());
       return 0;
-    } else {
+    } else if (arg == "--help") {
       usage();
-      return arg == "--help" ? 0 : 1;
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n\n", arg.c_str());
+      usage(stderr);
+      return 1;
     }
   }
 

@@ -1,0 +1,53 @@
+#include "analysis/manifestation.hpp"
+
+namespace hsfi::analysis {
+
+std::string_view to_string(Manifestation m) noexcept {
+  switch (m) {
+    case Manifestation::kMasked: return "masked";
+    case Manifestation::kCrcDropped: return "crc_dropped";
+    case Manifestation::kMarkerError: return "marker_error";
+    case Manifestation::kPayloadCorruptedDelivered:
+      return "payload_corrupted_delivered";
+    case Manifestation::kMisrouted: return "misrouted";
+    case Manifestation::kDroppedOther: return "dropped_other";
+    case Manifestation::kTimeout: return "timeout";
+    case Manifestation::kMappingDisruption: return "mapping_disruption";
+  }
+  return "?";
+}
+
+std::string_view jsonl_key(Manifestation m) noexcept {
+  switch (m) {
+    case Manifestation::kMasked: return "m_masked";
+    case Manifestation::kCrcDropped: return "m_crc_dropped";
+    case Manifestation::kMarkerError: return "m_marker_error";
+    case Manifestation::kPayloadCorruptedDelivered:
+      return "m_payload_corrupted_delivered";
+    case Manifestation::kMisrouted: return "m_misrouted";
+    case Manifestation::kDroppedOther: return "m_dropped_other";
+    case Manifestation::kTimeout: return "m_timeout";
+    case Manifestation::kMappingDisruption: return "m_mapping_disruption";
+  }
+  return "m_unknown";
+}
+
+std::string describe(const ManifestationBreakdown& b) {
+  std::string out;
+  // Failure classes first, masked last: the interesting part leads.
+  for (const auto m : all_manifestations()) {
+    if (m == Manifestation::kMasked || b[m] == 0) continue;
+    if (!out.empty()) out += ' ';
+    out += to_string(m);
+    out += ':';
+    out += std::to_string(b[m]);
+  }
+  if (b[Manifestation::kMasked] != 0) {
+    if (!out.empty()) out += ' ';
+    out += "masked:";
+    out += std::to_string(b[Manifestation::kMasked]);
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace hsfi::analysis

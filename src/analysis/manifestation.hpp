@@ -1,0 +1,85 @@
+// The failure-manifestation taxonomy: what a single injector firing turned
+// into, observed at the monitors downstream of the fault site.
+//
+// The paper's evaluation (§4.3–§4.4) reports injections by their
+// *manifestation*, not by raw drop counters: corrupted characters are
+// "dropped and lost, but not incorrectly passed on" (CRC), markers are
+// "consumed and handled as an error", misaddressed frames are dropped by
+// the destination, blocked paths recover "with a long-period timeout", and
+// corrupted mapping replies leave the controller "unable to generate a
+// consistent map". Each class below names one of those observable ends;
+// kMasked is the paper's no-observable-effect case (the corrupted window
+// fell into idle fill, inter-frame padding, or data nobody checked).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hsfi::analysis {
+
+enum class Manifestation : std::uint8_t {
+  kMasked = 0,                  ///< no observable downstream effect
+  kCrcDropped,                  ///< caught by the link CRC-8 at a NIC
+  kMarkerError,                 ///< marker MSB set; consumed as an error
+  kPayloadCorruptedDelivered,   ///< corruption survived to the application
+  kMisrouted,                   ///< wrong address/route; dropped off-path
+  kDroppedOther,                ///< slack/ring overflow, checksum, bad type
+  kTimeout,                     ///< path held until a long-period timeout
+  kMappingDisruption,           ///< mapping confused / node left the map
+};
+
+inline constexpr std::size_t kManifestationCount = 8;
+
+/// All classes, in severity/report order (kMasked first).
+[[nodiscard]] constexpr std::array<Manifestation, kManifestationCount>
+all_manifestations() noexcept {
+  return {Manifestation::kMasked,
+          Manifestation::kCrcDropped,
+          Manifestation::kMarkerError,
+          Manifestation::kPayloadCorruptedDelivered,
+          Manifestation::kMisrouted,
+          Manifestation::kDroppedOther,
+          Manifestation::kTimeout,
+          Manifestation::kMappingDisruption};
+}
+
+/// Human-readable name, e.g. "crc_dropped".
+[[nodiscard]] std::string_view to_string(Manifestation m) noexcept;
+
+/// Stable JSONL field name, e.g. "m_crc_dropped".
+[[nodiscard]] std::string_view jsonl_key(Manifestation m) noexcept;
+
+/// Per-class counters. Every injector firing in a campaign lands in exactly
+/// one class, so total() equals the campaign's injection count.
+struct ManifestationBreakdown {
+  std::array<std::uint64_t, kManifestationCount> counts{};
+
+  [[nodiscard]] std::uint64_t& operator[](Manifestation m) noexcept {
+    return counts[static_cast<std::size_t>(m)];
+  }
+  [[nodiscard]] std::uint64_t operator[](Manifestation m) const noexcept {
+    return counts[static_cast<std::size_t>(m)];
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto c : counts) sum += c;
+    return sum;
+  }
+
+  ManifestationBreakdown& operator+=(const ManifestationBreakdown& o) noexcept {
+    for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += o.counts[i];
+    return *this;
+  }
+
+  friend bool operator==(const ManifestationBreakdown&,
+                         const ManifestationBreakdown&) = default;
+};
+
+/// Compact one-line rendering of the non-zero classes, e.g.
+/// "crc_dropped:12 timeout:1 masked:3" ("-" when all zero).
+[[nodiscard]] std::string describe(const ManifestationBreakdown& b);
+
+}  // namespace hsfi::analysis

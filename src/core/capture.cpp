@@ -11,6 +11,8 @@ void CaptureBuffer::feed(link::Symbol s, sim::SimTime when) {
     if (pending_.after.size() >= params_.post_context) {
       if (events_.size() < params_.max_events) {
         events_.push_back(std::move(pending_));
+      } else {
+        ++dropped_events_;
       }
       pending_ = Event{};
       open_ = false;
@@ -21,7 +23,10 @@ void CaptureBuffer::feed(link::Symbol s, sim::SimTime when) {
 }
 
 void CaptureBuffer::trigger(sim::SimTime when) {
-  if (open_) return;  // still collecting the previous event's context
+  if (open_) {  // still collecting the previous event's context
+    ++dropped_events_;
+    return;
+  }
   open_ = true;
   pending_ = Event{};
   pending_.when = when;
@@ -40,6 +45,11 @@ std::string CaptureBuffer::render() const {
     out += "\n";
   }
   if (events_.empty()) out = "(no capture events)\n";
+  if (dropped_events_ != 0) {
+    out += "dropped events: ";
+    out += std::to_string(dropped_events_);
+    out += "\n";
+  }
   return out;
 }
 

@@ -48,10 +48,20 @@ class CaptureBuffer {
   [[nodiscard]] const std::vector<Event>& events() const noexcept {
     return events_;
   }
+
+  /// Events lost to resource exhaustion: triggers that arrived while a
+  /// previous event was still collecting post-context, plus completed
+  /// events discarded because max_events were already retained. Without
+  /// this the buffer lies by omission during injection bursts.
+  [[nodiscard]] std::uint64_t dropped_events() const noexcept {
+    return dropped_events_;
+  }
+
   void clear() noexcept {
     events_.clear();
     ring_.clear();
     open_ = false;
+    dropped_events_ = 0;
   }
 
   /// Render all events as text ("CAPT" serial readout).
@@ -62,6 +72,7 @@ class CaptureBuffer {
   std::deque<link::Symbol> ring_;
   std::vector<Event> events_;
   bool open_ = false;      ///< an event is collecting post-context
+  std::uint64_t dropped_events_ = 0;
   Event pending_{};
 };
 

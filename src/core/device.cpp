@@ -27,6 +27,7 @@ struct InjectorDevice::Pipeline final : link::SymbolSink {
   CrcRepatcher repatch;
   CaptureBuffer capture;
   StreamStats stats;
+  std::function<void(sim::SimTime)> on_injection;
   sim::EventId drain_event = sim::kInvalidEventId;
 
   Pipeline(FifoInjector::Params fp, CaptureBuffer::Params cp)
@@ -52,7 +53,10 @@ struct InjectorDevice::Pipeline final : link::SymbolSink {
 
   void emit(const FifoInjector::Result& r, sim::SimTime when,
             std::vector<link::Symbol>& outs) {
-    if (r.injected) capture.trigger(when);
+    if (r.injected) {
+      capture.trigger(when);
+      if (on_injection) on_injection(when);
+    }
     if (!r.out) return;
     // IDLE characters (the free-running clock's filler) are never placed on
     // the egress channel: our channels model idle wire time implicitly, so
@@ -140,6 +144,17 @@ const StreamStats& InjectorDevice::stream_stats(Direction d) const {
 
 std::uint64_t InjectorDevice::frames_crc_patched(Direction d) const {
   return pipes_[index(d)]->repatch.frames_patched();
+}
+
+void InjectorDevice::set_injection_hook(InjectionHook hook) {
+  for (const auto d : {Direction::kLeftToRight, Direction::kRightToLeft}) {
+    auto& pipe = *pipes_[index(d)];
+    if (!hook) {
+      pipe.on_injection = nullptr;
+    } else {
+      pipe.on_injection = [d, hook](sim::SimTime when) { hook(d, when); };
+    }
+  }
 }
 
 void InjectorDevice::clear_stats() {

@@ -19,6 +19,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -90,6 +91,12 @@ class InjectorDevice {
 
   /// Optional event trace (configuration applications); not owned.
   void set_trace(sim::TraceLog* trace) noexcept { trace_ = trace; }
+
+  /// Called once per fired injection window with the direction and the
+  /// simulated time of the first corrupted character — the anchor the
+  /// manifestation analyzer correlates downstream effects against.
+  using InjectionHook = std::function<void(Direction, sim::SimTime)>;
+  void set_injection_hook(InjectionHook hook);
 
  private:
   struct Pipeline;

@@ -61,11 +61,13 @@ bool Host::send_udp(HostId dest, UdpDatagram dgram) {
   const auto dest_eth = peer(dest);
   if (!dest_eth) {
     ++stats_.drop_unknown_peer;
+    note_drop(DropReason::kUnknownPeer, simulator_.now());
     return false;
   }
   const auto route = mcp_->resolve_route(*dest_eth);
   if (!route) {
     ++stats_.drop_unroutable;  // "removed from the network"
+    note_drop(DropReason::kUnroutable, simulator_.now());
     return false;
   }
 
@@ -107,16 +109,19 @@ void Host::on_deliver(myrinet::Delivered frame, sim::SimTime when) {
   // "most packet types are reserved for relatively obscure protocols" — a
   // corrupted type falls here and is dropped without side effects.
   ++stats_.drop_unknown_type;
+  note_drop(DropReason::kUnknownType, when);
 }
 
 void Host::on_data_frame(const myrinet::Delivered& frame, sim::SimTime when) {
   const auto parsed = parse_frame(frame.payload);
   if (!parsed) {
     ++stats_.drop_malformed;
+    note_drop(DropReason::kMalformed, when);
     return;
   }
   if (parsed->dst_eth != config_.eth || parsed->dst_id != config_.id) {
     ++stats_.drop_misaddressed;
+    note_drop(DropReason::kMisaddressed, when);
     return;
   }
   // Address learning: remember where this peer claims to live. This is the
@@ -125,20 +130,31 @@ void Host::on_data_frame(const myrinet::Delivered& frame, sim::SimTime when) {
 
   if (parsed->proto != Proto::kUdp) {
     ++stats_.drop_malformed;
+    note_drop(DropReason::kMalformed, when);
     return;
   }
   const auto udp = decode_udp(parsed->body);
   if (udp.error) {
     switch (*udp.error) {
-      case UdpParseError::kBadChecksum: ++stats_.drop_bad_checksum; break;
-      case UdpParseError::kBadLength: ++stats_.drop_bad_length; break;
-      case UdpParseError::kTooShort: ++stats_.drop_malformed; break;
+      case UdpParseError::kBadChecksum:
+        ++stats_.drop_bad_checksum;
+        note_drop(DropReason::kBadChecksum, when);
+        break;
+      case UdpParseError::kBadLength:
+        ++stats_.drop_bad_length;
+        note_drop(DropReason::kBadLength, when);
+        break;
+      case UdpParseError::kTooShort:
+        ++stats_.drop_malformed;
+        note_drop(DropReason::kMalformed, when);
+        break;
     }
     return;
   }
   const auto socket = sockets_.find(udp.datagram->dst_port);
   if (socket == sockets_.end()) {
     ++stats_.drop_unbound_port;
+    note_drop(DropReason::kUnboundPort, when);
     return;
   }
   ++stats_.udp_delivered;

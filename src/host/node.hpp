@@ -72,6 +72,21 @@ class Host {
   using UdpHandler =
       std::function<void(HostId src, const UdpDatagram&, sim::SimTime when)>;
 
+  /// Why the stack dropped a packet (send- or receive-side), mirroring the
+  /// Stats counters one-for-one; the hook adds the timestamp the counters
+  /// lack so the manifestation analyzer can correlate drops to firings.
+  enum class DropReason : std::uint8_t {
+    kUnknownPeer = 0,  ///< send: no address for that host id
+    kUnroutable,       ///< send: not in the Myrinet map
+    kMisaddressed,     ///< receive: wrong dst address or id
+    kBadChecksum,
+    kBadLength,
+    kMalformed,
+    kUnknownType,      ///< reserved/corrupted packet type
+    kUnboundPort,
+  };
+  using DropHandler = std::function<void(DropReason reason, sim::SimTime when)>;
+
   Host(sim::Simulator& simulator, myrinet::HostInterface& nic, Config config);
 
   Host(const Host&) = delete;
@@ -85,6 +100,7 @@ class Host {
   [[nodiscard]] std::optional<myrinet::EthAddr> peer(HostId id) const;
 
   void bind(std::uint16_t port, UdpHandler handler);
+  void on_drop(DropHandler handler) { drop_ = std::move(handler); }
   /// Answers echo datagrams (UDP port 7) by returning the payload — the
   /// ping responder.
   void enable_echo();
@@ -109,6 +125,9 @@ class Host {
  private:
   void on_deliver(myrinet::Delivered frame, sim::SimTime when);
   void on_data_frame(const myrinet::Delivered& frame, sim::SimTime when);
+  void note_drop(DropReason reason, sim::SimTime when) {
+    if (drop_) drop_(reason, when);
+  }
 
   sim::Simulator& simulator_;
   myrinet::HostInterface& nic_;
@@ -119,6 +138,7 @@ class Host {
   std::map<HostId, myrinet::EthAddr> peers_;
   std::map<std::uint16_t, UdpHandler> sockets_;
   sim::SimTime stack_free_at_ = 0;
+  DropHandler drop_;
   Stats stats_;
 };
 

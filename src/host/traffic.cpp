@@ -60,7 +60,7 @@ UdpSink::UdpSink(Host& host, std::uint16_t port) {
     ++received_;
     bytes_ += dgram.payload.size();
     last_ = when;
-    if (tap_) tap_(src, dgram);
+    if (tap_) tap_(src, dgram, when);
   });
 }
 

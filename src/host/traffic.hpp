@@ -80,7 +80,8 @@ class UdpSink {
   }
 
   /// Optional tap on every delivery.
-  void on_receive(std::function<void(HostId, const UdpDatagram&)> tap) {
+  void on_receive(
+      std::function<void(HostId, const UdpDatagram&, sim::SimTime)> tap) {
     tap_ = std::move(tap);
   }
 
@@ -88,7 +89,7 @@ class UdpSink {
   std::uint64_t received_ = 0;
   std::uint64_t bytes_ = 0;
   sim::SimTime last_ = 0;
-  std::function<void(HostId, const UdpDatagram&)> tap_;
+  std::function<void(HostId, const UdpDatagram&, sim::SimTime)> tap_;
 };
 
 }  // namespace hsfi::host

@@ -93,23 +93,26 @@ void HostInterface::on_burst(const link::Burst& burst) {
 
 void HostInterface::handle_frame(std::vector<std::uint8_t> frame,
                                  sim::SimTime when) {
-  (void)when;
   Delivered parsed = parse_delivered(frame);
   switch (parsed.status) {
     case DeliveryStatus::kCrcError:
       ++stats_.crc_errors;
+      if (rx_error_) rx_error_(RxError::kCrcError, when);
       return;
     case DeliveryStatus::kMarkerError:
       ++stats_.marker_errors;  // consumed and handled as an error
+      if (rx_error_) rx_error_(RxError::kMarkerError, when);
       return;
     case DeliveryStatus::kTooShort:
       ++stats_.too_short;
+      if (rx_error_) rx_error_(RxError::kTooShort, when);
       return;
     case DeliveryStatus::kOk:
       break;
   }
   if (rx_ring_.size() >= config_.rx_ring_frames) {
     ++stats_.ring_overflows;
+    if (rx_error_) rx_error_(RxError::kRingOverflow, when);
     return;
   }
   rx_ring_.push_back(std::move(parsed));

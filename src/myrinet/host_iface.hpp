@@ -72,6 +72,18 @@ class HostInterface final : public link::SymbolSink {
   using DeliverHandler = std::function<void(Delivered frame, sim::SimTime when)>;
   void on_deliver(DeliverHandler handler) { deliver_ = std::move(handler); }
 
+  /// Receive-side error classes the NIC detects and consumes itself; they
+  /// never reach the host stack, so an external monitor (the manifestation
+  /// analyzer) can only see them through this hook.
+  enum class RxError : std::uint8_t {
+    kCrcError = 0,
+    kMarkerError,
+    kTooShort,
+    kRingOverflow,
+  };
+  using RxErrorHandler = std::function<void(RxError error, sim::SimTime when)>;
+  void on_rx_error(RxErrorHandler handler) { rx_error_ = std::move(handler); }
+
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
@@ -112,6 +124,7 @@ class HostInterface final : public link::SymbolSink {
   bool rx_drain_scheduled_ = false;
 
   DeliverHandler deliver_;
+  RxErrorHandler rx_error_;
   Stats stats_;
 };
 

@@ -101,6 +101,7 @@ void Mcp::finish_round() {
     // another controller, and is unable to generate a consistent map. Each
     // attempt to resolve the network fails in an apparently random fashion."
     ++stats_.confused_rounds;
+    if (confused_) confused_(simulator_.now());
     map = damaged_map(collected_);
     if (trace_ && trace_->enabled(sim::LogLevel::kWarn)) {
       trace_->add(simulator_.now(), sim::LogLevel::kWarn, "mcp",

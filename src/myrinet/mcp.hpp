@@ -120,6 +120,14 @@ class Mcp {
   /// Optional event trace (rounds, installs, confusion); not owned.
   void set_trace(sim::TraceLog* trace) noexcept { trace_ = trace; }
 
+  /// Called when a round ends confused (duplicate controller seen) and a
+  /// damaged map is about to be announced — the paper's §4.3.3 mapping
+  /// disruption, timestamped for the manifestation analyzer.
+  using ConfusionHandler = std::function<void(sim::SimTime when)>;
+  void on_confused_round(ConfusionHandler handler) {
+    confused_ = std::move(handler);
+  }
+
   /// Rewinds the RNG stream to the state a freshly constructed MCP with
   /// `seed` would have. Campaign runs reset this so a sequence of runs on
   /// one testbed equals the same runs on fresh testbeds.
@@ -150,6 +158,7 @@ class Mcp {
   sim::SimTime last_install_ = -1;
   Stats stats_;
   sim::TraceLog* trace_ = nullptr;
+  ConfusionHandler confused_;
 };
 
 /// Payload builders, exposed so tests and the injector benches can construct

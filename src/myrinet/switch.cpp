@@ -58,7 +58,8 @@ void Switch::send_flow(std::size_t port, ControlSymbol c) {
 
 void Switch::on_burst(std::size_t port, const link::Burst& burst) {
   Port& p = *ports_[port];
-  for (const auto symbol : burst.symbols) {
+  for (std::size_t i = 0; i < burst.symbols.size(); ++i) {
+    const auto symbol = burst.symbols[i];
     // Flow-control symbols received on this port steer this port's *output*
     // gate; they never enter the forwarding path.
     if (symbol.control) {
@@ -68,7 +69,9 @@ void Switch::on_burst(std::size_t port, const link::Burst& burst) {
         continue;
       }
     }
-    p.slack->push(symbol);
+    if (!p.slack->push(symbol) && port_event_) {
+      port_event_(port, PortEvent::kSlackOverflow, burst.arrival(i));
+    }
   }
   schedule_pump(port);
 }
@@ -154,6 +157,9 @@ void Switch::arm_long_timeout(std::size_t port) {
         // its next packet boundary, so the input returns to idle and
         // treats what follows as a fresh header.
         ++q.stats.long_timeouts;
+        if (port_event_) {
+          port_event_(port, PortEvent::kLongTimeout, simulator_.now());
+        }
         if (trace_ && trace_->enabled(sim::LogLevel::kWarn)) {
           trace_->add(simulator_.now(), sim::LogLevel::kWarn, name_,
                       "long-period timeout reclaimed input " +
@@ -219,6 +225,9 @@ void Switch::pump(std::size_t port) {
         const auto out = static_cast<std::size_t>(head & kRoutePortMask);
         if (out >= ports_.size() || ports_[out]->tx == nullptr) {
           ++p.stats.invalid_route;
+          if (port_event_) {
+            port_event_(port, PortEvent::kInvalidRoute, simulator_.now());
+          }
           p.slack->pop();
           p.state = InState::kConsuming;
           break;

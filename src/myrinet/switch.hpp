@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -81,6 +82,20 @@ class Switch {
   /// Optional event trace (long timeouts, invalid routes); not owned.
   void set_trace(sim::TraceLog* trace) noexcept { trace_ = trace; }
 
+  /// Failure-relevant port events, timestamped for the manifestation
+  /// analyzer. Counters in PortStats record that these happened; the hook
+  /// records *when*.
+  enum class PortEvent : std::uint8_t {
+    kSlackOverflow = 0,  ///< symbol lost, input slack full
+    kLongTimeout,        ///< held path reclaimed (~50 ms)
+    kInvalidRoute,       ///< head byte named a dead/absent port
+  };
+  using PortEventHandler =
+      std::function<void(std::size_t port, PortEvent event, sim::SimTime when)>;
+  void on_port_event(PortEventHandler handler) {
+    port_event_ = std::move(handler);
+  }
+
  private:
   struct Port;
 
@@ -144,6 +159,7 @@ class Switch {
   Config config_;
   std::vector<std::unique_ptr<Port>> ports_;
   sim::TraceLog* trace_ = nullptr;
+  PortEventHandler port_event_;
 };
 
 }  // namespace hsfi::myrinet

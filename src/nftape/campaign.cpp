@@ -1,5 +1,6 @@
 #include "nftape/campaign.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -8,6 +9,73 @@
 #include "sim/rng.hpp"
 
 namespace hsfi::nftape {
+
+namespace {
+
+using analysis::Manifestation;
+
+Manifestation classify(myrinet::HostInterface::RxError e) {
+  switch (e) {
+    case myrinet::HostInterface::RxError::kCrcError:
+      return Manifestation::kCrcDropped;
+    case myrinet::HostInterface::RxError::kMarkerError:
+      return Manifestation::kMarkerError;
+    case myrinet::HostInterface::RxError::kTooShort:
+    case myrinet::HostInterface::RxError::kRingOverflow:
+      return Manifestation::kDroppedOther;
+  }
+  return Manifestation::kDroppedOther;
+}
+
+Manifestation classify(host::Host::DropReason r) {
+  switch (r) {
+    case host::Host::DropReason::kMisaddressed:
+      return Manifestation::kMisrouted;
+    // Send-side resolution failures mean the routing/address state itself
+    // is damaged — the paper's "removed from the network".
+    case host::Host::DropReason::kUnknownPeer:
+    case host::Host::DropReason::kUnroutable:
+      return Manifestation::kMappingDisruption;
+    case host::Host::DropReason::kBadChecksum:
+    case host::Host::DropReason::kBadLength:
+    case host::Host::DropReason::kMalformed:
+    case host::Host::DropReason::kUnknownType:
+    case host::Host::DropReason::kUnboundPort:
+      return Manifestation::kDroppedOther;
+  }
+  return Manifestation::kDroppedOther;
+}
+
+Manifestation classify(myrinet::Switch::PortEvent e) {
+  switch (e) {
+    case myrinet::Switch::PortEvent::kSlackOverflow:
+      return Manifestation::kDroppedOther;
+    case myrinet::Switch::PortEvent::kLongTimeout:
+      return Manifestation::kTimeout;
+    case myrinet::Switch::PortEvent::kInvalidRoute:
+      return Manifestation::kMisrouted;
+  }
+  return Manifestation::kDroppedOther;
+}
+
+/// Detaches every monitor hook on scope exit so nothing outlives the run's
+/// analyzer (runs may also end by RunCancelled).
+struct HookGuard {
+  Testbed& bed;
+  ~HookGuard() {
+    for (std::size_t i = 0; i < bed.node_count(); ++i) {
+      bed.nic(i).on_rx_error(nullptr);
+      bed.host(i).on_drop(nullptr);
+      bed.host(i).mcp().on_confused_round(nullptr);
+    }
+    bed.network_switch().on_port_event(nullptr);
+    if (bed.config().with_injector) {
+      bed.injector().set_injection_hook(nullptr);
+    }
+  }
+};
+
+}  // namespace
 
 struct CampaignRunner::Snapshot {
   std::uint64_t udp_sent = 0;
@@ -88,6 +156,39 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
   bed_.reset_to_known_good(seed);
   sim::Duration elapsed = 0;
 
+  // Manifestation monitoring: one analyzer per run, fed by every layer's
+  // timestamp hooks. The guard detaches the hooks however the run ends so
+  // none outlives the analyzer.
+  analysis::ManifestationAnalyzer analyzer;
+  HookGuard unhook{bed_};
+  if (bed_.config().with_injector) {
+    bed_.injector().set_injection_hook(
+        [&analyzer](core::Direction, sim::SimTime when) {
+          analyzer.record_injection(when);
+        });
+  }
+  for (std::size_t i = 0; i < bed_.node_count(); ++i) {
+    const auto src = static_cast<std::uint32_t>(i);
+    bed_.nic(i).on_rx_error([&analyzer, src](myrinet::HostInterface::RxError e,
+                                             sim::SimTime when) {
+      analyzer.record_observation(when, classify(e), src);
+    });
+    bed_.host(i).on_drop(
+        [&analyzer, src](host::Host::DropReason reason, sim::SimTime when) {
+          analyzer.record_observation(when, classify(reason), 100 + src);
+        });
+    bed_.host(i).mcp().on_confused_round([&analyzer, src](sim::SimTime when) {
+      analyzer.record_observation(when, Manifestation::kMappingDisruption,
+                                  300 + src);
+    });
+  }
+  bed_.network_switch().on_port_event(
+      [&analyzer](std::size_t port, myrinet::Switch::PortEvent e,
+                  sim::SimTime when) {
+        analyzer.record_observation(when, classify(e),
+                                    200 + static_cast<std::uint32_t>(port));
+      });
+
   // Program the fault. The serial path is the authentic NFTAPE control
   // loop; the direct path is available for unit tests.
   const auto program = [this, &spec](core::Direction dir,
@@ -114,6 +215,27 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
   for (std::size_t i = 0; i < bed_.node_count(); ++i) {
     sinks.push_back(
         std::make_unique<host::UdpSink>(bed_.host(i), spec.workload.port));
+    // The workload's constant size/fill makes corruption detectable at the
+    // sink: a datagram that passed every check below but carries the wrong
+    // bytes was delivered corrupted (the taxonomy's worst class — nothing
+    // upstream noticed).
+    const auto src = 400 + static_cast<std::uint32_t>(i);
+    const auto expected_size = spec.workload.payload_size;
+    const auto expected_fill = spec.workload.payload_fill;
+    sinks.back()->on_receive([&analyzer, src, expected_size, expected_fill](
+                                 host::HostId, const host::UdpDatagram& dgram,
+                                 sim::SimTime when) {
+      const bool corrupted =
+          dgram.payload.size() != expected_size ||
+          std::any_of(dgram.payload.begin(), dgram.payload.end(),
+                      [expected_fill](std::uint8_t b) {
+                        return b != expected_fill;
+                      });
+      if (corrupted) {
+        analyzer.record_observation(
+            when, Manifestation::kPayloadCorruptedDelivered, src);
+      }
+    });
   }
   for (std::size_t i = 0; i < bed_.node_count(); ++i) {
     for (std::size_t j = 0; j < bed_.node_count(); ++j) {
@@ -137,10 +259,12 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
 
   settle_checked(spec.warmup, control, &elapsed);
   const Snapshot before = take_snapshot();
+  const sim::SimTime window_begin = bed_.sim().now();
   settle_checked(spec.duration, control, &elapsed);
   for (auto& f : floods) f->stop();
   settle_checked(spec.drain, control, &elapsed);
   const Snapshot after = take_snapshot();
+  const sim::SimTime window_end = bed_.sim().now();
 
   // Disarm the injector for whoever runs next. Only the match mode is
   // touched: re-sending a whole zeroed configuration would pass through a
@@ -179,6 +303,18 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
   r.slack_overflow = after.slack_overflow - before.slack_overflow;
   r.long_timeouts = after.long_timeouts - before.long_timeouts;
   r.injections = after.injections - before.injections;
+
+  const auto outcome =
+      analyzer.finalize(window_begin, window_end, r.injections);
+  r.manifestations = outcome.breakdown;
+  r.secondary_effects = outcome.secondary_effects;
+  r.manifestation_latency = outcome.latency;
+  for (const auto m : analysis::all_manifestations()) {
+    metrics_.counter("manifest." + std::string(analysis::to_string(m))) +=
+        outcome.breakdown[m];
+  }
+  metrics_.counter("secondary_effects") += outcome.secondary_effects;
+  metrics_.histogram("manifestation_latency").merge(outcome.latency);
   return r;
 }
 

@@ -18,6 +18,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "analysis/analyzer.hpp"
+#include "analysis/manifestation.hpp"
+#include "analysis/metrics.hpp"
 #include "core/injector_config.hpp"
 #include "nftape/testbed.hpp"
 #include "sim/time.hpp"
@@ -97,6 +100,23 @@ struct CampaignResult {
   std::uint64_t long_timeouts = 0;
   std::uint64_t injections = 0;          ///< injector fire count
 
+  /// How each firing manifested (classes sum to `injections` exactly).
+  analysis::ManifestationBreakdown manifestations;
+  /// Unclaimed downstream effects (cascades past the first per firing).
+  std::uint64_t secondary_effects = 0;
+  /// Firing -> first-observed-effect delay over the window.
+  analysis::Histogram manifestation_latency;
+
+  /// Deliveries beyond what was sent in the window: duplicated or replayed
+  /// datagrams (e.g. a corrupted route looping a packet back). loss_rate()
+  /// clamps at zero in that case, so duplication must be reported on its
+  /// own — a zero loss figure with nonzero duplicates is not a clean run.
+  [[nodiscard]] std::uint64_t duplicates() const {
+    return messages_received > messages_sent
+               ? messages_received - messages_sent
+               : 0;
+  }
+
   [[nodiscard]] double loss_rate() const {
     if (messages_sent == 0) return 0.0;
     const auto lost = messages_sent > messages_received
@@ -121,6 +141,15 @@ class CampaignRunner {
   CampaignResult run(const CampaignSpec& spec,
                      const RunControl* control = nullptr);
 
+  /// Cumulative across runs on this runner: one counter per manifestation
+  /// class ("manifest.<class>"), "secondary_effects", and the
+  /// "manifestation_latency" histogram. Deterministic (simulated time
+  /// only), so it is byte-stable across hosts and worker counts.
+  [[nodiscard]] const analysis::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+  void clear_metrics() { metrics_.clear(); }
+
  private:
   struct Snapshot;
   Snapshot take_snapshot() const;
@@ -128,6 +157,7 @@ class CampaignRunner {
                       sim::Duration* elapsed);
 
   Testbed& bed_;
+  analysis::MetricsRegistry metrics_;
 };
 
 }  // namespace hsfi::nftape

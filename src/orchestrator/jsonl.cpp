@@ -1,5 +1,6 @@
 #include "orchestrator/jsonl.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 namespace hsfi::orchestrator {
@@ -61,6 +62,12 @@ void JsonObject::add_bool(std::string_view k, bool value) {
 
 void JsonObject::add_fixed(std::string_view k, double value, int decimals) {
   key(k);
+  // JSON has no NaN/Infinity literals; printf would emit bare "nan"/"inf"
+  // and corrupt the line for every standard parser.
+  if (!std::isfinite(value)) {
+    body_ += "null";
+    return;
+  }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
   body_ += buf;

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/manifestation.hpp"
 #include "nftape/testbed.hpp"
 #include "orchestrator/jsonl.hpp"
 #include "sim/time.hpp"
@@ -79,6 +80,11 @@ std::string to_jsonl(const RunRecord& r, bool include_timing) {
     o.add_u64("tx_drops", c.nic_tx_drops);
     o.add_u64("slack_overflow", c.slack_overflow);
     o.add_u64("long_timeouts", c.long_timeouts);
+    o.add_u64("duplicates", c.duplicates());
+    for (const auto m : analysis::all_manifestations()) {
+      o.add_u64(analysis::jsonl_key(m), c.manifestations[m]);
+    }
+    o.add_u64("secondary_effects", c.secondary_effects);
   }
   if (include_timing) o.add_fixed("wall_ms", r.wall_ms, 3);
   return o.str();
@@ -88,8 +94,9 @@ nftape::Report summarize(const std::string& title,
                          const std::vector<RunRecord>& records) {
   nftape::Report report(title);
   report.set_header({"run", "name", "outcome", "attempts", "sent", "received",
-                     "loss", "injections"});
+                     "loss", "dups", "injections", "manifestations"});
   std::size_t ok = 0, timed_out = 0, errors = 0;
+  std::uint64_t duplicates = 0;
   double wall_ms = 0.0;
   for (const auto& r : records) {
     const auto& c = r.result;
@@ -99,7 +106,10 @@ nftape::Report summarize(const std::string& title,
          nftape::cell("%llu", (unsigned long long)c.messages_sent),
          nftape::cell("%llu", (unsigned long long)c.messages_received),
          nftape::cell("%.2f%%", 100.0 * c.loss_rate()),
-         nftape::cell("%llu", (unsigned long long)c.injections)});
+         nftape::cell("%llu", (unsigned long long)c.duplicates()),
+         nftape::cell("%llu", (unsigned long long)c.injections),
+         analysis::describe(c.manifestations)});
+    duplicates += c.duplicates();
     wall_ms += r.wall_ms;
     switch (r.outcome) {
       case RunOutcome::kOk: ++ok; break;
@@ -110,6 +120,11 @@ nftape::Report summarize(const std::string& title,
   report.add_note(nftape::cell(
       "%zu ok, %zu timed out, %zu errored; %.1f s of worker wall time", ok,
       timed_out, errors, wall_ms / 1e3));
+  if (duplicates != 0) {
+    report.add_note(nftape::cell(
+        "%llu duplicate deliveries (received > sent; not counted as loss)",
+        (unsigned long long)duplicates));
+  }
   return report;
 }
 

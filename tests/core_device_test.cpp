@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/capture.hpp"
 #include "core/device.hpp"
 #include "link/channel.hpp"
 #include "myrinet/host_iface.hpp"
@@ -264,6 +265,37 @@ TEST(InjectorDeviceTest, RoutesMappedThroughInBothDirections) {
   ASSERT_EQ(net.at_b.size(), 2u);
   EXPECT_EQ(net.at_b[0].payload[0], 0x01);
   EXPECT_EQ(net.at_b[1].payload[0], 0x02);
+}
+
+TEST(CaptureBufferTest, CountsDroppedEventsInsteadOfLyingByOmission) {
+  CaptureBuffer::Params params;
+  params.pre_context = 2;
+  params.post_context = 2;
+  params.max_events = 1;
+  CaptureBuffer cap(params);
+
+  // First event completes and is retained.
+  cap.trigger(nanoseconds(10));
+  cap.feed(link::data_symbol(0x01), nanoseconds(10));
+  // A trigger while the first event is still collecting post-context is
+  // dropped, not silently ignored.
+  cap.trigger(nanoseconds(11));
+  EXPECT_EQ(cap.dropped_events(), 1u);
+  cap.feed(link::data_symbol(0x02), nanoseconds(12));
+  ASSERT_EQ(cap.events().size(), 1u);
+
+  // A second completed event exceeds max_events and is counted as dropped.
+  cap.trigger(nanoseconds(20));
+  cap.feed(link::data_symbol(0x03), nanoseconds(20));
+  cap.feed(link::data_symbol(0x04), nanoseconds(21));
+  EXPECT_EQ(cap.events().size(), 1u);
+  EXPECT_EQ(cap.dropped_events(), 2u);
+
+  // The serial readout surfaces the count, and clear() resets it.
+  EXPECT_NE(cap.render().find("dropped events: 2"), std::string::npos);
+  cap.clear();
+  EXPECT_EQ(cap.dropped_events(), 0u);
+  EXPECT_EQ(cap.render().find("dropped events"), std::string::npos);
 }
 
 }  // namespace

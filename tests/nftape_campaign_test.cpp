@@ -1,6 +1,10 @@
 // Tests for the NFTAPE-style campaign runner and report rendering.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+
+#include "analysis/manifestation.hpp"
 #include "myrinet/control.hpp"
 #include "nftape/campaign.hpp"
 #include "nftape/faults.hpp"
@@ -124,6 +128,64 @@ TEST(CampaignTest, FaultFreeRunAfterFaultRunIsClean) {
   const auto clean = runner.run(quick_spec("clean"));
   EXPECT_EQ(clean.injections, 0u);
   EXPECT_DOUBLE_EQ(clean.loss_rate(), 0.0);
+}
+
+TEST(CampaignTest, ManifestationsAccountForEveryInjection) {
+  // Tentpole invariant: each firing is followed downstream and lands in
+  // exactly one taxonomy class, so the breakdown sums to the injection
+  // count for every campaign — baseline and faulty alike.
+  Testbed bed(campaign_config());
+  bed.start();
+  bed.settle(milliseconds(60));
+  CampaignRunner runner(bed);
+
+  const auto baseline = runner.run(quick_spec("baseline"));
+  EXPECT_EQ(baseline.manifestations.total(), baseline.injections);
+  EXPECT_EQ(baseline.manifestations.total(), 0u);
+
+  auto spec = quick_spec("GAP->GO");
+  spec.fault_to_switch =
+      control_symbol_corruption(ControlSymbol::kGap, ControlSymbol::kGo);
+  const auto r = runner.run(spec);
+  ASSERT_GT(r.injections, 0u);
+  EXPECT_EQ(r.manifestations.total(), r.injections);
+  // GAP->GO merges frames, which must surface as non-masked effects.
+  using analysis::Manifestation;
+  EXPECT_LT(r.manifestations[Manifestation::kMasked], r.injections);
+  // The firing -> first-effect latencies only exist for matched firings.
+  EXPECT_EQ(r.manifestation_latency.count(),
+            r.injections - r.manifestations[Manifestation::kMasked]);
+
+  // The runner's metrics registry accumulated both runs.
+  std::uint64_t counted = 0;
+  for (const auto m : analysis::all_manifestations()) {
+    counted += runner.metrics().counter_value(
+        "manifest." + std::string(analysis::to_string(m)));
+  }
+  EXPECT_EQ(counted, baseline.injections + r.injections);
+}
+
+TEST(CampaignTest, DuplicateDeliveriesAreCountedNotClampedAway) {
+  // loss_rate() must not hide received > sent behind a clamp; the
+  // duplicates() accessor reports the overshoot explicitly.
+  CampaignResult r;
+  r.messages_sent = 100;
+  r.messages_received = 103;
+  EXPECT_EQ(r.duplicates(), 3u);
+  EXPECT_DOUBLE_EQ(r.loss_rate(), 0.0);
+  r.messages_received = 97;
+  EXPECT_EQ(r.duplicates(), 0u);
+  EXPECT_DOUBLE_EQ(r.loss_rate(), 0.03);
+
+  // No live campaign in this testbed duplicates datagrams, but
+  // window-boundary skew (warmup sends delivered inside the window) can
+  // register a small overshoot — bounded like the baseline's loss check.
+  Testbed bed(campaign_config());
+  bed.start();
+  bed.settle(milliseconds(60));
+  CampaignRunner runner(bed);
+  const auto live = runner.run(quick_spec("dups"));
+  EXPECT_LE(live.duplicates(), live.messages_sent / 100);
 }
 
 TEST(ReportTest, RenderAlignsColumns) {

@@ -6,12 +6,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "analysis/manifestation.hpp"
 #include "myrinet/control.hpp"
 #include "nftape/faults.hpp"
 #include "orchestrator/jsonl.hpp"
@@ -112,6 +114,30 @@ TEST(JsonlTest, EscapesControlAndQuoteCharacters) {
   EXPECT_EQ(json_escape("x\n\t\x01y"), "x\\n\\t\\u0001y");
 }
 
+TEST(JsonlTest, NonFiniteNumbersSerializeAsNull) {
+  // printf would emit bare `nan`/`inf`, which no JSON parser accepts; the
+  // writer must degrade to null instead of corrupting the whole line.
+  JsonObject o;
+  o.add_fixed("a", std::numeric_limits<double>::quiet_NaN(), 4);
+  o.add_fixed("b", std::numeric_limits<double>::infinity(), 4);
+  o.add_fixed("c", -std::numeric_limits<double>::infinity(), 4);
+  o.add_fixed("d", 1.25, 2);
+  EXPECT_EQ(o.str(), "{\"a\":null,\"b\":null,\"c\":null,\"d\":1.25}");
+}
+
+TEST(JsonlTest, DuplicateDeliveriesAreReportedNotClamped) {
+  RunRecord rec;
+  rec.outcome = RunOutcome::kOk;
+  rec.result.messages_sent = 10;
+  rec.result.messages_received = 13;  // duplication (e.g. a looped route)
+  rec.result.window = milliseconds(40);
+  EXPECT_EQ(rec.result.duplicates(), 3u);
+  EXPECT_EQ(rec.result.loss_rate(), 0.0);
+  const auto line = to_jsonl(rec);
+  EXPECT_NE(line.find("\"duplicates\":3"), std::string::npos)
+      << "a clamped loss figure must not hide duplication: " << line;
+}
+
 TEST(JsonlTest, RecordHasStableFieldOrderAndOptionalTiming) {
   RunRecord rec;
   rec.index = 3;
@@ -132,6 +158,17 @@ TEST(JsonlTest, RecordHasStableFieldOrderAndOptionalTiming) {
       << "timing must be opt-in; it is the one nondeterministic field";
   const auto timed = to_jsonl(rec, /*include_timing=*/true);
   EXPECT_NE(timed.find("\"wall_ms\":12.500"), std::string::npos);
+  // The manifestation breakdown rides at the tail of the ok-record block,
+  // one field per class plus duplicates and secondary effects.
+  EXPECT_NE(line.find("\"long_timeouts\":0,\"duplicates\":0,\"m_masked\":0"),
+            std::string::npos)
+      << line;
+  for (const auto m : analysis::all_manifestations()) {
+    EXPECT_NE(line.find("\"" + std::string(analysis::jsonl_key(m)) + "\":"),
+              std::string::npos)
+        << analysis::jsonl_key(m);
+  }
+  EXPECT_NE(line.find("\"secondary_effects\":0}"), std::string::npos) << line;
 }
 
 // The acceptance property: the same sweep produces byte-identical sorted
@@ -172,6 +209,9 @@ TEST(RunnerTest, FaultySweepRunsSeeCampaignEffects) {
       EXPECT_GT(r.result.injections, 0u) << r.name;
       EXPECT_GT(r.result.loss_rate(), 0.0) << r.name;
     }
+    // The accounting invariant, via the real worker-pool path: every firing
+    // lands in exactly one manifestation class.
+    EXPECT_EQ(r.result.manifestations.total(), r.result.injections) << r.name;
   }
 }
 
