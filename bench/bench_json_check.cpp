@@ -1,0 +1,166 @@
+// Schema check for BENCH_sim_kernel.json: a JSON array of flat records
+//   {"bench": str, "metric": str, "value": number, "unit": str, "commit": str}
+// Exactly these five keys, in this order (the file is machine-written, so
+// ordering is part of the stable schema), at least one record, and every
+// (bench, metric) pair unique. Exit 0 on pass; nonzero with a message
+// naming the byte offset on any violation.
+//
+// A hand-rolled validator because the container has no JSON library — and
+// the point is to fail when the writer drifts, not to accept all of JSON.
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(std::string text) : text_(std::move(text)) {}
+
+  bool run() {
+    skip_ws();
+    if (!expect('[')) return false;
+    std::size_t records = 0;
+    skip_ws();
+    if (peek() != ']') {
+      do {
+        if (!record()) return false;
+        ++records;
+        skip_ws();
+      } while (consume(','));
+    }
+    if (!expect(']')) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing data after array");
+    if (records == 0) return fail("no records");
+    return true;
+  }
+
+ private:
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool expect(char c) {
+    if (consume(c)) return true;
+    std::ostringstream msg;
+    msg << "expected '" << c << "'";
+    return fail(msg.str());
+  }
+  bool fail(const std::string& why) {
+    std::fprintf(stderr, "schema violation at byte %zu: %s\n", pos_,
+                 why.c_str());
+    return false;
+  }
+
+  /// JSON string; escapes pass through unvalidated beyond \" handling —
+  /// the writer only ever emits \" \\ \n and ASCII.
+  bool string_value(std::string* out) {
+    if (!expect('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        if (++pos_ >= text_.size()) return fail("unterminated escape");
+      }
+      out->push_back(text_[pos_++]);
+    }
+    return expect('"');
+  }
+
+  bool number_value() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (pos_ == start || text_[start] == '.') return fail("expected a number");
+    return true;
+  }
+
+  bool field(const char* name, std::string* out) {
+    std::string key;
+    if (!string_value(&key)) return false;
+    if (key != name) {
+      return fail("expected key \"" + std::string(name) + "\", got \"" + key +
+                  "\"");
+    }
+    if (!expect(':')) return false;
+    return out != nullptr ? string_value(out) : number_value();
+  }
+
+  bool record() {
+    if (!expect('{')) return false;
+    std::string bench, metric, unit, commit;
+    if (!field("bench", &bench) || !consume(',')) {
+      return fail("record must be {bench, metric, value, unit, commit}");
+    }
+    if (!field("metric", &metric) || !consume(',')) {
+      return fail("record must be {bench, metric, value, unit, commit}");
+    }
+    if (!field("value", nullptr) || !consume(',')) {
+      return fail("record must be {bench, metric, value, unit, commit}");
+    }
+    if (!field("unit", &unit) || !consume(',')) {
+      return fail("record must be {bench, metric, value, unit, commit}");
+    }
+    if (!field("commit", &commit)) return false;
+    if (!expect('}')) return false;
+    if (bench.empty() || metric.empty() || unit.empty() || commit.empty()) {
+      return fail("empty string field in record");
+    }
+    if (!seen_.insert(bench + "\x1f" + metric).second) {
+      return fail("duplicate (bench, metric) pair: " + bench + "/" + metric);
+    }
+    return true;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  std::set<std::string> seen_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: bench_json_check FILE\n");
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Checker checker(buffer.str());
+  if (!checker.run()) {
+    std::fprintf(stderr, "%s: FAILED schema check\n", argv[1]);
+    return 1;
+  }
+  std::printf("%s: ok\n", argv[1]);
+  return 0;
+}

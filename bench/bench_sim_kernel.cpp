@@ -1,0 +1,172 @@
+// Kernel throughput benchmark: the harness's standard scenario set, one
+// process, stable JSON output for cross-commit regression tracking.
+//
+//   ./build/bench/bench_sim_kernel --out BENCH_sim_kernel.json
+//   ./build/bench/bench_sim_kernel --reps 1 --smoke --out smoke.json   # CI lane
+//
+// Scenarios mirror the standalone result-reproduction benches (passthrough,
+// sec431 throughput, seu sweep, manifestations) but measure the one thing
+// those don't: simulation events per wall second, the number every campaign
+// in the paper's tables is bounded by. Each scenario is deterministic — the
+// harness fails the run if an event count differs between repetitions.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "harness.hpp"
+#include "host/traffic.hpp"
+#include "myrinet/control.hpp"
+#include "nftape/campaign.hpp"
+#include "nftape/faults.hpp"
+#include "nftape/testbed.hpp"
+#include "orchestrator/runner.hpp"
+#include "orchestrator/sweep.hpp"
+
+using namespace hsfi;
+using myrinet::ControlSymbol;
+
+namespace {
+
+nftape::TestbedConfig standard_testbed() {
+  nftape::TestbedConfig config;
+  config.map_period = sim::milliseconds(100);
+  config.nic_config.rx_processing_time = sim::microseconds(1);
+  config.send_stack_time = sim::microseconds(1);
+  return config;
+}
+
+/// §3.5 pass-through: UDP flood across the spliced injector at ~98% of the
+/// 80 MB/s line rate. The hottest configuration of the channel/device path.
+std::uint64_t scenario_passthrough(bool smoke) {
+  nftape::Testbed bed(standard_testbed());
+  bed.start();
+  bed.settle(sim::milliseconds(150));
+
+  host::UdpSink sink(bed.host(1), 9);
+  host::UdpFlood::Config fc;
+  fc.target = 2;  // node 1, across the injected link
+  fc.interval = sim::microseconds(7);
+  fc.payload_size = 512;
+  host::UdpFlood flood(bed.sim(), bed.host(0), fc);
+  flood.start();
+  bed.settle(sim::milliseconds(smoke ? 40 : 200));
+  flood.stop();
+  bed.settle(sim::milliseconds(10));
+  return bed.sim().executed_events();
+}
+
+/// §4.3.1 normal-condition throughput: all-to-all bursty floods through the
+/// switch — exercises arbitration, slack buffers, and flow control.
+std::uint64_t scenario_sec431(bool smoke) {
+  auto config = standard_testbed();
+  config.nic_config.rx_processing_time = sim::microseconds(2);
+  nftape::Testbed bed(config);
+  bed.start();
+  bed.settle(sim::milliseconds(150));
+
+  std::vector<std::unique_ptr<host::UdpSink>> sinks;
+  for (std::size_t i = 0; i < 3; ++i) {
+    sinks.push_back(std::make_unique<host::UdpSink>(bed.host(i), 9));
+  }
+  std::vector<std::unique_ptr<host::UdpFlood>> floods;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i == j) continue;
+      host::UdpFlood::Config fc;
+      fc.target = static_cast<host::HostId>(j + 1);
+      fc.interval = sim::microseconds(12);
+      fc.payload_size = 256;
+      fc.burst_size = 4;
+      fc.jitter = 0.5;
+      fc.seed = 40 + i * 8 + j;
+      fc.src_port = static_cast<std::uint16_t>(5000 + i * 8 + j);
+      floods.push_back(
+          std::make_unique<host::UdpFlood>(bed.sim(), bed.host(i), fc));
+    }
+  }
+  for (auto& f : floods) f->start();
+  bed.settle(sim::milliseconds(smoke ? 30 : 150));
+  for (auto& f : floods) f->stop();
+  bed.settle(sim::milliseconds(10));
+  return bed.sim().executed_events();
+}
+
+/// §3.1 SEU-rate sweep through the orchestrator worker pool; events are the
+/// sum over the expanded runs (each run reports its own deterministic
+/// count, so the total is worker-count independent).
+std::uint64_t scenario_seu_sweep(bool smoke) {
+  orchestrator::SweepSpec sweep;
+  sweep.name = "seu";
+  sweep.testbed = standard_testbed();
+  sweep.base.warmup = sim::milliseconds(10);
+  sweep.base.duration = sim::milliseconds(smoke ? 20 : 60);
+  sweep.base.drain = sim::milliseconds(10);
+  sweep.base.workload.udp_interval = sim::microseconds(20);
+  sweep.base.workload.payload_size = 128;
+  sweep.directions = {orchestrator::FaultDirection::kBoth};
+  const std::uint16_t masks[] = {0x0FFF, 0x03FF, 0x00FF};
+  const std::size_t points = smoke ? 1 : 3;
+  for (std::size_t i = 0; i < points; ++i) {
+    sweep.faults.push_back({nftape::cell("seu-%04X", masks[i]),
+                            nftape::random_bit_flip_seu(masks[i])});
+  }
+  const auto records = orchestrator::Runner().run_all(orchestrator::expand(sweep));
+  std::uint64_t events = 0;
+  for (const auto& r : records) {
+    if (r.outcome != orchestrator::RunOutcome::kOk) {
+      std::fprintf(stderr, "seu_sweep run %zu: %s\n", r.index,
+                   std::string(orchestrator::to_string(r.outcome)).c_str());
+      return 0;  // a failed run shows up as a nondeterministic event count
+    }
+    events += r.result.events_executed;
+  }
+  return events;
+}
+
+/// Manifestation-analysis campaigns on one shared testbed: the monitor-hook
+/// and analyzer overhead on top of the §4.3 fault classes.
+std::uint64_t scenario_manifestations(bool smoke) {
+  nftape::Testbed bed(standard_testbed());
+  bed.start();
+  bed.settle(sim::milliseconds(150));
+  nftape::CampaignRunner runner(bed);
+
+  const struct {
+    const char* name;
+    core::InjectorConfig config;
+  } rows[] = {
+      {"seu-00FF", nftape::random_bit_flip_seu(0x00FF)},
+      {"gap->idle", nftape::control_symbol_corruption(ControlSymbol::kGap,
+                                                      ControlSymbol::kIdle)},
+  };
+  const std::uint64_t begin = bed.sim().executed_events();
+  for (const auto& row : rows) {
+    nftape::CampaignSpec spec;
+    spec.name = row.name;
+    spec.warmup = sim::milliseconds(10);
+    spec.duration = sim::milliseconds(smoke ? 20 : 80);
+    spec.drain = sim::milliseconds(10);
+    spec.workload.udp_interval = sim::microseconds(12);
+    spec.workload.payload_size = 256;
+    spec.workload.burst_size = 4;
+    spec.workload.jitter = 0.5;
+    spec.fault_to_switch = row.config;
+    spec.fault_from_switch = row.config;
+    (void)runner.run(spec);
+  }
+  return bed.sim().executed_events() - begin;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = hsfi::bench::parse_options(argc, argv);
+  hsfi::bench::Harness harness(options);
+  const bool smoke = options.smoke;
+  harness.measure("passthrough", [smoke] { return scenario_passthrough(smoke); });
+  harness.measure("sec431_throughput", [smoke] { return scenario_sec431(smoke); });
+  harness.measure("seu_sweep", [smoke] { return scenario_seu_sweep(smoke); });
+  harness.measure("manifestations",
+                  [smoke] { return scenario_manifestations(smoke); });
+  return harness.finish();
+}

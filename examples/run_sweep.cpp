@@ -19,6 +19,7 @@
 
 #include "myrinet/control.hpp"
 #include "nftape/faults.hpp"
+#include "orchestrator/jsonl.hpp"
 #include "orchestrator/runner.hpp"
 #include "orchestrator/sweep.hpp"
 
@@ -54,8 +55,68 @@ void usage(std::FILE* to = stdout) {
       "  --out FILE       write JSONL records there (default: stdout)\n"
       "  --timing         include per-run wall_ms in the JSONL (wall time\n"
       "                   is nondeterministic; omit for byte-comparable runs)\n"
+      "  --bench-out FILE write sweep throughput in the BENCH_sim_kernel.json\n"
+      "                   schema ({bench, metric, value, unit, commit})\n"
       "  --faults a,b,c   restrict the fault axis (see --list)\n"
       "  --list           print the fault axis and exit\n");
+}
+
+/// Commit stamp for --bench-out records: HSFI_COMMIT env when set (the
+/// before/after measurement scripts pin it), else git, else "unknown".
+/// Self-contained on purpose — this file must build against kernels that
+/// predate bench/harness.
+std::string commit_id() {
+  if (const char* env = std::getenv("HSFI_COMMIT"); env != nullptr && *env) {
+    return env;
+  }
+  std::string commit = "unknown";
+  if (std::FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buffer[64] = {};
+    if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+      std::string line(buffer);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (!line.empty()) commit = line;
+    }
+    pclose(pipe);
+  }
+  return commit;
+}
+
+bool write_bench_out(const std::string& path,
+                     const std::vector<orchestrator::RunRecord>& records,
+                     double total_s) {
+  std::uint64_t events = 0;
+  for (const auto& r : records) events += r.result.events_executed;
+  const std::string commit = commit_id();
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  out << "[\n";
+  bool first = true;
+  const auto record = [&](const char* metric, double v, int decimals,
+                          const char* unit) {
+    if (!first) out << ",\n";
+    first = false;
+    orchestrator::JsonObject o;
+    o.add("bench", "run_sweep");
+    o.add("metric", metric);
+    o.add_fixed("value", v, decimals);
+    o.add("unit", unit);
+    o.add("commit", commit);
+    out << "  " << o.str();
+  };
+  record("events_per_sec_median",
+         total_s > 0 ? static_cast<double>(events) / total_s : 0, 1,
+         "events/s");
+  record("wall_s_median", total_s, 6, "s");
+  record("events", static_cast<double>(events), 0, "count");
+  record("runs", static_cast<double>(records.size()), 0, "count");
+  out << "\n]\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -66,6 +127,7 @@ int main(int argc, char** argv) {
   std::size_t replicates = 2;
   long duration_ms = 60;
   std::string out_path;
+  std::string bench_out_path;
   bool timing = false;
   std::string fault_filter;
 
@@ -104,6 +166,8 @@ int main(int argc, char** argv) {
       duration_ms = static_cast<long>(numeric());
     } else if (arg == "--out") {
       out_path = value();
+    } else if (arg == "--bench-out") {
+      bench_out_path = value();
     } else if (arg == "--timing") {
       timing = true;
     } else if (arg == "--faults") {
@@ -192,6 +256,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << lines.str();
+  }
+
+  if (!bench_out_path.empty() &&
+      !write_bench_out(bench_out_path, records, total_s)) {
+    return 1;
   }
 
   auto report = orchestrator::summarize(sweep.name, records);

@@ -29,6 +29,9 @@ struct InjectorDevice::Pipeline final : link::SymbolSink {
   StreamStats stats;
   std::function<void(sim::SimTime)> on_injection;
   sim::EventId drain_event = sim::kInvalidEventId;
+  /// Egress staging buffer, reused across bursts/drain ticks so the
+  /// steady-state forwarding path allocates nothing per burst.
+  std::vector<link::Symbol> scratch;
 
   Pipeline(FifoInjector::Params fp, CaptureBuffer::Params cp)
       : fifo(fp), capture(cp) {}
@@ -44,9 +47,9 @@ struct InjectorDevice::Pipeline final : link::SymbolSink {
     if (drain_event != sim::kInvalidEventId || !fifo.pending_payload()) return;
     drain_event = simulator->schedule_in(character_period, [this] {
       drain_event = sim::kInvalidEventId;
-      std::vector<link::Symbol> outs;
-      emit(fifo.clock(std::nullopt), simulator->now(), outs);
-      transmit(outs);
+      scratch.clear();
+      emit(fifo.clock(std::nullopt), simulator->now(), scratch);
+      transmit(scratch);
       schedule_drain();
     });
   }
@@ -74,15 +77,15 @@ struct InjectorDevice::Pipeline final : link::SymbolSink {
 
   void on_burst(const link::Burst& burst) override {
     cancel_drain();
-    std::vector<link::Symbol> outs;
-    outs.reserve(burst.symbols.size());
+    scratch.clear();
+    scratch.reserve(burst.symbols.size());
     for (std::size_t i = 0; i < burst.symbols.size(); ++i) {
       const auto when = burst.arrival(i);
       capture.feed(burst.symbols[i], when);
       stats.feed(burst.symbols[i], when);
-      emit(fifo.clock(burst.symbols[i]), when, outs);
+      emit(fifo.clock(burst.symbols[i]), when, scratch);
     }
-    transmit(outs);
+    transmit(scratch);
     schedule_drain();
   }
 };

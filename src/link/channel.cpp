@@ -29,13 +29,19 @@ sim::SimTime Channel::transmit(std::span<const Symbol> symbols) {
   Burst burst;
   burst.start = start + propagation_delay_;
   burst.period = character_period_;
+  burst.symbols = pool_.acquire();
   burst.symbols.assign(symbols.begin(), symbols.end());
 
   // Deliver when the *first* symbol's trailing edge arrives; the sink uses
-  // Burst::arrival() for per-symbol times within the burst.
+  // Burst::arrival() for per-symbol times within the burst. The symbol
+  // buffer goes back on the freelist as soon as on_burst returns (see the
+  // Burst lifetime contract in channel.hpp).
   SymbolSink* sink = sink_;
   simulator_.schedule_at(burst.start + character_period_,
-                         [sink, b = std::move(burst)]() { sink->on_burst(b); });
+                         [this, sink, b = std::move(burst)]() mutable {
+                           sink->on_burst(b);
+                           pool_.release(std::move(b.symbols));
+                         });
   return tx_free_at_;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "link/symbol.hpp"
+#include "link/symbol_pool.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -21,6 +22,12 @@ namespace hsfi::link {
 
 /// A group of consecutive symbols on the wire. symbols[i] finishes arriving
 /// at `start + (i + 1) * period`.
+///
+/// Lifetime: a Burst delivered to SymbolSink::on_burst — including its
+/// `symbols` storage — is owned by the channel and valid only until
+/// on_burst returns; the buffer is then recycled for later bursts. Sinks
+/// that need the data longer must copy it. Under AddressSanitizer the
+/// recycled storage is poisoned, so use past the lifetime faults in CI.
 struct Burst {
   sim::SimTime start = 0;      ///< arrival time of the first symbol's leading edge
   sim::Duration period = 0;    ///< character period
@@ -88,6 +95,11 @@ class Channel {
     return symbols_lost_;
   }
 
+  /// The burst-buffer freelist (observable for pooling tests/metrics).
+  [[nodiscard]] const SymbolBufferPool& burst_pool() const noexcept {
+    return pool_;
+  }
+
  private:
   sim::Simulator& simulator_;
   std::string name_;
@@ -98,6 +110,7 @@ class Channel {
   std::uint64_t symbols_lost_ = 0;
   bool connected_ = true;
   SymbolSink* sink_ = nullptr;
+  SymbolBufferPool pool_;
 };
 
 /// A full-duplex cable: two channels with shared parameters. End A transmits

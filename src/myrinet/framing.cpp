@@ -34,10 +34,16 @@ void Deframer::feed(link::Symbol symbol, sim::SimTime when) {
 std::vector<link::Symbol> frame_symbols(
     std::span<const std::uint8_t> packet_bytes) {
   std::vector<link::Symbol> symbols;
-  symbols.reserve(packet_bytes.size() + 1);
-  for (const auto b : packet_bytes) symbols.push_back(link::data_symbol(b));
-  symbols.push_back(to_symbol(ControlSymbol::kGap));
+  frame_symbols_into(packet_bytes, symbols);
   return symbols;
+}
+
+void frame_symbols_into(std::span<const std::uint8_t> packet_bytes,
+                        std::vector<link::Symbol>& out) {
+  out.clear();
+  out.reserve(packet_bytes.size() + 1);
+  for (const auto b : packet_bytes) out.push_back(link::data_symbol(b));
+  out.push_back(to_symbol(ControlSymbol::kGap));
 }
 
 }  // namespace hsfi::myrinet

@@ -62,4 +62,10 @@ class Deframer {
 [[nodiscard]] std::vector<link::Symbol> frame_symbols(
     std::span<const std::uint8_t> packet_bytes);
 
+/// Same, but reuses `out`'s storage (cleared first) — the NIC transmit
+/// path frames every outgoing packet into one recycled buffer instead of
+/// allocating per frame.
+void frame_symbols_into(std::span<const std::uint8_t> packet_bytes,
+                        std::vector<link::Symbol>& out);
+
 }  // namespace hsfi::myrinet

@@ -57,7 +57,7 @@ void HostInterface::pump_tx() {
     if (!gate_.open()) return;  // resumes via the gate callback
     if (tx_offset_ >= tx_current_.size()) {
       if (tx_queue_.empty()) return;
-      tx_current_ = frame_symbols(tx_queue_.front());
+      frame_symbols_into(tx_queue_.front(), tx_current_);
       tx_queue_.pop_front();
       tx_offset_ = 0;
     }

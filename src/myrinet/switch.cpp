@@ -191,7 +191,8 @@ void Switch::close_connection(Port& p, bool emit_tail_crc) {
 
 void Switch::pump(std::size_t port) {
   Port& p = *ports_[port];
-  std::vector<link::Symbol> batch;
+  std::vector<link::Symbol>& batch = pump_batch_;
+  batch.clear();
   std::size_t batch_out = Port::kFree;  // output the batch belongs to
 
   const auto flush = [&] {
@@ -201,14 +202,15 @@ void Switch::pump(std::size_t port) {
       o.pending_chars += batch.size();
       simulator_.schedule_in(
           config_.forwarding_latency,
-          [this, out = batch_out, b = std::move(batch)] {
+          [this, out = batch_out, b = std::move(batch)]() mutable {
             Port& q = *ports_[out];
             q.pending_chars -= b.size() < q.pending_chars ? b.size()
                                                           : q.pending_chars;
             if (q.tx != nullptr) q.tx->transmit(b);
+            batch_pool_.release(std::move(b));
           });
     }
-    batch = {};
+    batch = batch_pool_.acquire();
   };
 
   for (;;) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "link/channel.hpp"
+#include "link/symbol_pool.hpp"
 #include "myrinet/control.hpp"
 #include "myrinet/crc8.hpp"
 #include "myrinet/flow_gate.hpp"
@@ -160,6 +161,12 @@ class Switch {
   std::vector<std::unique_ptr<Port>> ports_;
   sim::TraceLog* trace_ = nullptr;
   PortEventHandler port_event_;
+  /// Freelist for the per-pump forwarding batches: each batch rides inside
+  /// a forwarding-latency event and returns here after transmission, so
+  /// steady-state forwarding allocates nothing per packet. `pump_batch_` is
+  /// the working batch pump() fills between flushes (pump never re-enters).
+  link::SymbolBufferPool batch_pool_;
+  std::vector<link::Symbol> pump_batch_;
 };
 
 }  // namespace hsfi::myrinet

@@ -153,6 +153,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
                                    const RunControl* control) {
   const std::uint64_t seed =
       spec.seed != 0 ? spec.seed : bed_.config().seed;
+  const std::uint64_t events_begin = bed_.sim().executed_events();
   bed_.reset_to_known_good(seed);
   sim::Duration elapsed = 0;
 
@@ -303,6 +304,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
   r.slack_overflow = after.slack_overflow - before.slack_overflow;
   r.long_timeouts = after.long_timeouts - before.long_timeouts;
   r.injections = after.injections - before.injections;
+  r.events_executed = bed_.sim().executed_events() - events_begin;
 
   const auto outcome =
       analyzer.finalize(window_begin, window_end, r.injections);

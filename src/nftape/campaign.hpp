@@ -99,6 +99,10 @@ struct CampaignResult {
   std::uint64_t slack_overflow = 0;      ///< switch symbol loss
   std::uint64_t long_timeouts = 0;
   std::uint64_t injections = 0;          ///< injector fire count
+  /// Kernel events executed over the whole run (reset through recovery).
+  /// Deterministic in simulated time; the bench harness divides it by wall
+  /// time for events/sec.
+  std::uint64_t events_executed = 0;
 
   /// How each firing manifested (classes sum to `injections` exactly).
   analysis::ManifestationBreakdown manifestations;

@@ -81,6 +81,7 @@ std::string to_jsonl(const RunRecord& r, bool include_timing) {
     o.add_u64("slack_overflow", c.slack_overflow);
     o.add_u64("long_timeouts", c.long_timeouts);
     o.add_u64("duplicates", c.duplicates());
+    o.add_u64("events", c.events_executed);
     for (const auto m : analysis::all_manifestations()) {
       o.add_u64(analysis::jsonl_key(m), c.manifestations[m]);
     }

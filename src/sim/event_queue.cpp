@@ -7,40 +7,67 @@
 namespace hsfi::sim {
 
 EventId EventQueue::schedule(SimTime when, Action action) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{when, id, std::move(action)});
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoSlot;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.action = std::move(action);
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Entry{when, seq, slot, s.gen});
   std::push_heap(heap_.begin(), heap_.end(), later);
-  pending_.insert(id);
-  return id;
+  ++live_;
+  return make_id(slot, s.gen);
+}
+
+void EventQueue::retire(std::uint32_t slot_index) noexcept {
+  Slot& s = slots_[slot_index];
+  if (++s.gen == 0) s.gen = 1;  // 0 is reserved for kInvalidEventId
+  s.next_free = free_head_;
+  free_head_ = slot_index;
 }
 
 void EventQueue::cancel(EventId id) {
-  // Erasing from pending_ is all that is needed: entries whose id is no
-  // longer pending are skipped when they surface at the heap front.
-  pending_.erase(id);
+  const auto slot = static_cast<std::uint32_t>(id >> 32);
+  const auto gen = static_cast<std::uint32_t>(id);
+  if (slot >= slots_.size() || slots_[slot].gen != gen || gen == 0) return;
+  // Release captured resources now; the heap entry goes stale (its stamped
+  // generation no longer matches) and is dropped when it reaches the front.
+  slots_[slot].action.reset();
+  retire(slot);
+  --live_;
 }
 
-void EventQueue::drop_cancelled_front() {
-  while (!heap_.empty() && !pending_.contains(heap_.front().id)) {
+void EventQueue::drop_stale_front() {
+  while (!heap_.empty() &&
+         slots_[heap_.front().slot].gen != heap_.front().gen) {
     std::pop_heap(heap_.begin(), heap_.end(), later);
     heap_.pop_back();
   }
 }
 
 SimTime EventQueue::next_time() {
-  drop_cancelled_front();
+  drop_stale_front();
   assert(!heap_.empty());
   return heap_.front().when;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled_front();
+  drop_stale_front();
   assert(!heap_.empty());
+  const Entry e = heap_.front();
   std::pop_heap(heap_.begin(), heap_.end(), later);
-  Entry e = std::move(heap_.back());
   heap_.pop_back();
-  pending_.erase(e.id);
-  return Fired{e.when, e.id, std::move(e.action)};
+  Fired fired{e.when, make_id(e.slot, e.gen), e.seq,
+              std::move(slots_[e.slot].action)};
+  retire(e.slot);
+  --live_;
+  return fired;
 }
 
 }  // namespace hsfi::sim

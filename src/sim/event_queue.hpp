@@ -3,36 +3,45 @@
 // Events at equal timestamps are delivered in scheduling order (a strictly
 // increasing sequence number breaks ties), so a simulation run is a pure
 // function of its inputs and seeds.
+//
+// Internals (DESIGN.md "Kernel internals"): actions live in generation-
+// stamped slots; the heap orders 24-byte trivially-copyable entries
+// {when, seq, slot, gen}. Cancellation bumps the slot's generation — O(1),
+// no hash lookup — and stale heap entries (whose stamped generation no
+// longer matches the slot) are discarded lazily when they surface at the
+// front. Slots are recycled through an intrusive freelist, so steady-state
+// scheduling allocates nothing.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/action.hpp"
 #include "sim/time.hpp"
 
 namespace hsfi::sim {
 
-/// Handle used to cancel a scheduled event. Cancellation is lazy: the entry
-/// stays in the heap but is discarded when it reaches the front.
+/// Handle used to cancel a scheduled event: (slot index << 32) | generation.
+/// A generation is never 0 and a slot's generation bumps every time the
+/// event in it fires or is cancelled, so a stale handle can only collide
+/// with a live one after 2^32 reuses of a single slot.
 using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = sim::Action;
 
   /// Schedules `action` at absolute time `when` and returns its id.
   EventId schedule(SimTime when, Action action);
 
-  /// Cancels a pending event. Cancelling an already-fired, already-cancelled,
-  /// or invalid id is a no-op.
+  /// Cancels a pending event in O(1). Cancelling an already-fired,
+  /// already-cancelled, or invalid id is a no-op.
   void cancel(EventId id);
 
-  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
 
   /// Time of the earliest live event. Precondition: !empty().
   [[nodiscard]] SimTime next_time();
@@ -40,6 +49,10 @@ class EventQueue {
   struct Fired {
     SimTime when = 0;
     EventId id = kInvalidEventId;
+    /// 1-based schedule ordinal. Representation-independent provenance:
+    /// equal-time events fire in increasing seq, and determinism digests
+    /// key on it rather than on the slot/generation id encoding.
+    std::uint64_t seq = 0;
     Action action;
   };
 
@@ -47,23 +60,46 @@ class EventQueue {
   Fired pop();
 
  private:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// Trivially copyable so heap sifts are plain 24-byte moves (the action
+  /// itself never moves once parked in its slot).
   struct Entry {
-    SimTime when = 0;
-    EventId id = kInvalidEventId;
+    SimTime when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+
+  struct Slot {
     Action action;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNoSlot;
   };
 
   static bool later(const Entry& a, const Entry& b) noexcept {
     if (a.when != b.when) return a.when > b.when;
-    return a.id > b.id;
+    return a.seq > b.seq;
   }
 
-  /// Pops cancelled entries off the front of the heap.
-  void drop_cancelled_front();
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) noexcept {
+    return (static_cast<EventId>(slot) << 32) | gen;
+  }
+
+  /// Retires a slot after its event fired or was cancelled: bumps the
+  /// generation (skipping 0, the invalid marker) and chains it on the
+  /// freelist.
+  void retire(std::uint32_t slot_index) noexcept;
+
+  /// Pops entries whose generation stamp no longer matches their slot
+  /// (cancelled events) off the front of the heap.
+  void drop_stale_front();
 
   std::vector<Entry> heap_;
-  std::unordered_set<EventId> pending_;  // ids scheduled and not yet fired/cancelled
-  EventId next_id_ = 1;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_ = 0;        ///< scheduled and not yet fired/cancelled
+  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace hsfi::sim

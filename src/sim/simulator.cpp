@@ -11,6 +11,7 @@ bool Simulator::step(SimTime until) {
   auto fired = queue_.pop();
   now_ = fired.when;
   ++executed_;
+  if (observer_) observer_(fired.when, executed_, fired.seq);
   fired.action();
   return true;
 }

@@ -58,11 +58,24 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
 
+  /// Called before each event executes with (fire time, execution ordinal,
+  /// schedule ordinal). Both ordinals are 1-based and independent of the
+  /// EventId encoding, so a digest over the observed tuples is comparable
+  /// across kernel implementations — the golden-trace tests rely on this
+  /// to catch any change in event delivery order.
+  using EventObserver =
+      std::function<void(SimTime when, std::uint64_t exec_seq,
+                         std::uint64_t schedule_seq)>;
+  void set_event_observer(EventObserver observer) {
+    observer_ = std::move(observer);
+  }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t executed_ = 0;
   bool stop_requested_ = false;
+  EventObserver observer_;
 };
 
 }  // namespace hsfi::sim

@@ -159,8 +159,10 @@ TEST(JsonlTest, RecordHasStableFieldOrderAndOptionalTiming) {
   const auto timed = to_jsonl(rec, /*include_timing=*/true);
   EXPECT_NE(timed.find("\"wall_ms\":12.500"), std::string::npos);
   // The manifestation breakdown rides at the tail of the ok-record block,
-  // one field per class plus duplicates and secondary effects.
-  EXPECT_NE(line.find("\"long_timeouts\":0,\"duplicates\":0,\"m_masked\":0"),
+  // after the kernel event count, one field per class plus duplicates and
+  // secondary effects.
+  EXPECT_NE(line.find("\"long_timeouts\":0,\"duplicates\":0,\"events\":0,"
+                      "\"m_masked\":0"),
             std::string::npos)
       << line;
   for (const auto m : analysis::all_manifestations()) {
