@@ -8,15 +8,19 @@
 //   ./build/examples/run_sweep --workers 8 --out b.jsonl
 //   sort a.jsonl | diff - <(sort b.jsonl)               # byte-identical
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "adaptive/controller.hpp"
+#include "adaptive/strategy.hpp"
 #include "myrinet/control.hpp"
 #include "nftape/faults.hpp"
 #include "orchestrator/jsonl.hpp"
@@ -58,7 +62,20 @@ void usage(std::FILE* to = stdout) {
       "  --bench-out FILE write sweep throughput in the BENCH_sim_kernel.json\n"
       "                   schema ({bench, metric, value, unit, commit})\n"
       "  --faults a,b,c   restrict the fault axis (see --list)\n"
-      "  --list           print the fault axis and exit\n");
+      "  --list           print the fault axis and exit\n"
+      "  --strategy S     closed-loop campaign instead of the static grid:\n"
+      "                   fixed (the static grid through the controller),\n"
+      "                   bisect (binary-search the manifestation threshold\n"
+      "                   on the udp-interval axis per fault x direction\n"
+      "                   cell), or coverage (replicate where rare\n"
+      "                   manifestation classes still lack observations)\n"
+      "  --tolerance T    bisect: stop once the threshold bracket is <= T\n"
+      "                   microseconds wide (default 24)\n"
+      "  --max-rounds N   adaptive round cap (default 12)\n"
+      "  --target-count N coverage: observations wanted per manifestation\n"
+      "                   class per cell (default 5)\n"
+      "  --dry-run        print the expanded grid (static) or the round-0\n"
+      "                   batch (adaptive) without executing anything\n");
 }
 
 /// Commit stamp for --bench-out records: HSFI_COMMIT env when set (the
@@ -130,6 +147,11 @@ int main(int argc, char** argv) {
   std::string bench_out_path;
   bool timing = false;
   std::string fault_filter;
+  std::string strategy_name;
+  long tolerance_us = 24;
+  std::uint32_t max_rounds = 12;
+  std::uint64_t target_count = 5;
+  bool dry_run = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -172,6 +194,30 @@ int main(int argc, char** argv) {
       timing = true;
     } else if (arg == "--faults") {
       fault_filter = value();
+    } else if (arg == "--strategy") {
+      strategy_name = value();
+      if (strategy_name != "fixed" && strategy_name != "bisect" &&
+          strategy_name != "coverage") {
+        std::fprintf(stderr,
+                     "--strategy must be fixed, bisect, or coverage, got "
+                     "'%s'\n\n",
+                     strategy_name.c_str());
+        usage(stderr);
+        return 1;
+      }
+    } else if (arg == "--tolerance") {
+      tolerance_us = static_cast<long>(numeric());
+      if (tolerance_us == 0) {
+        std::fprintf(stderr, "--tolerance must be positive\n\n");
+        usage(stderr);
+        return 1;
+      }
+    } else if (arg == "--max-rounds") {
+      max_rounds = static_cast<std::uint32_t>(numeric());
+    } else if (arg == "--target-count") {
+      target_count = static_cast<std::uint64_t>(numeric());
+    } else if (arg == "--dry-run") {
+      dry_run = true;
     } else if (arg == "--list") {
       for (const auto& f : fault_axis()) std::printf("%s\n", f.name.c_str());
       return 0;
@@ -221,7 +267,147 @@ int main(int argc, char** argv) {
   sweep.base.workload.jitter = 0.5;
   sweep.base.workload.payload_size = 256;
 
+  // ---------------------------------------------------------------------
+  // Adaptive (closed-loop) path: the same fault plane, but a Strategy
+  // steers the udp-interval knob through the Controller round by round.
+  if (!strategy_name.empty()) {
+    adaptive::AdaptiveSpec aspec;
+    aspec.name = sweep.name + " [" + strategy_name + "]";
+    aspec.base = sweep.base;
+    aspec.testbed = sweep.testbed;
+    aspec.faults = sweep.faults;
+    aspec.directions = sweep.directions;
+    aspec.knob = nftape::Knob::kUdpIntervalUs;
+    aspec.base_seed = seed;
+    aspec.max_rounds = max_rounds;
+    adaptive::Controller controller(aspec, {});
+
+    // The intensity axis: datagram interval from the default full-capacity
+    // pace (12 us, most intense) out to a trickle (396 us). Smaller
+    // interval = more traffic = more faults manifest.
+    const double axis_lo = 12.0, axis_hi = 396.0;
+    std::unique_ptr<adaptive::Strategy> strategy;
+    if (strategy_name == "bisect") {
+      adaptive::BisectionConfig bc;
+      bc.lo = axis_lo;
+      bc.hi = axis_hi;
+      bc.tolerance = static_cast<double>(tolerance_us);
+      bc.higher_is_more_intense = false;
+      bc.min_manifested = 3;
+      strategy = std::make_unique<adaptive::BisectionStrategy>(
+          controller.cells(), bc);
+    } else if (strategy_name == "coverage") {
+      adaptive::CoverageConfig cc;
+      cc.knob_value = axis_lo;
+      cc.target_count = target_count;
+      cc.batch_replicates = replicates;
+      strategy =
+          std::make_unique<adaptive::CoverageStrategy>(controller.cells(), cc);
+    } else {  // fixed: today's grid through the controller
+      adaptive::FixedGridConfig fc;
+      fc.knob_values = {
+          sim::to_nanoseconds(sweep.base.workload.udp_interval) / 1000.0};
+      fc.replicates = replicates;
+      strategy = std::make_unique<adaptive::FixedGridStrategy>(
+          controller.cells(), fc);
+    }
+
+    if (dry_run) {
+      const auto round0 = controller.expand_round(
+          strategy->next_round(0), 0, 0, strategy_name);
+      std::printf("dry run: %zu runs in round 0 (strategy %s)\n",
+                  round0.size(), strategy_name.c_str());
+      for (const auto& r : round0) {
+        std::printf("%zu %s seed=%llu round=%u\n", r.index,
+                    r.campaign.name.c_str(), (unsigned long long)r.seed,
+                    r.round);
+      }
+      return 0;
+    }
+
+    adaptive::ControllerConfig cc;
+    cc.runner.workers = workers;
+    cc.on_round = [](const adaptive::RoundSummary& s) {
+      std::fprintf(stderr, "round %u: %zu runs (%zu failed), %zu total\n",
+                   s.round, s.runs, s.failed, s.total_runs);
+    };
+    adaptive::Controller live(aspec, std::move(cc));
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto outcome = live.run(*strategy);
+    const double total_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    std::ostringstream lines;
+    for (const auto& r : outcome.records) {
+      lines << orchestrator::to_jsonl(r, timing) << '\n';
+    }
+    if (out_path.empty()) {
+      std::fputs(lines.str().c_str(), stdout);
+    } else {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 1;
+      }
+      out << lines.str();
+    }
+    if (!bench_out_path.empty() &&
+        !write_bench_out(bench_out_path, outcome.records, total_s)) {
+      return 1;
+    }
+
+    auto report = orchestrator::summarize(aspec.name, outcome.records);
+    report.add_note(nftape::cell(
+        "%u rounds, %s; %.1f s wall", outcome.rounds,
+        outcome.converged ? "converged" : "round/run cap reached", total_s));
+    std::fprintf(stderr, "\n%s", report.render().c_str());
+    auto cells = orchestrator::cell_summary("per-cell manifestation rates",
+                                            outcome.records);
+    if (strategy_name == "bisect") {
+      const auto& bisect =
+          static_cast<const adaptive::BisectionStrategy&>(*strategy);
+      const auto cell_list = live.cells();
+      for (std::size_t i = 0; i < cell_list.size(); ++i) {
+        const auto& t = bisect.thresholds()[i];
+        if (t.found && std::isnan(t.masked_at)) {
+          cells.add_note(nftape::cell(
+              "%s: the entire axis manifests (down to udp-us = %.6g, %zu runs)",
+              live.cell_name(cell_list[i]).c_str(), t.manifested_at, t.runs));
+        } else if (t.found) {
+          cells.add_note(nftape::cell(
+              "%s: manifests at udp-us <= %.6g (bracket %.6g..%.6g, %zu runs)",
+              live.cell_name(cell_list[i]).c_str(), t.manifested_at,
+              t.manifested_at, t.masked_at, t.runs));
+        } else {
+          cells.add_note(nftape::cell("%s: no manifestation on the axis",
+                                      live.cell_name(cell_list[i]).c_str()));
+        }
+      }
+    }
+    std::fprintf(stderr, "\n%s", cells.render().c_str());
+
+    for (const auto& r : outcome.records) {
+      if (r.outcome != orchestrator::RunOutcome::kOk) return 2;
+    }
+    return 0;
+  }
+
+  // ---------------------------------------------------------------------
+  // Static path: pre-expanded grid, unchanged record format.
   const auto runs = orchestrator::expand(sweep);
+
+  if (dry_run) {
+    std::printf("dry run: %zu runs (%zu faults x %zu directions x %zu reps)\n",
+                runs.size(), sweep.faults.size(), sweep.directions.size(),
+                sweep.replicates);
+    for (const auto& r : runs) {
+      std::printf("%zu %s seed=%llu\n", r.index, r.campaign.name.c_str(),
+                  (unsigned long long)r.seed);
+    }
+    return 0;
+  }
 
   orchestrator::RunnerConfig rc;
   rc.workers = workers;
@@ -267,6 +453,11 @@ int main(int argc, char** argv) {
   report.add_note(nftape::cell("%.1f s wall, %.2f runs/s", total_s,
                                static_cast<double>(records.size()) / total_s));
   std::fprintf(stderr, "\n%s", report.render().c_str());
+  std::fprintf(stderr, "\n%s",
+               orchestrator::cell_summary("per-cell manifestation rates",
+                                          records)
+                   .render()
+                   .c_str());
 
   for (const auto& r : records) {
     if (r.outcome != orchestrator::RunOutcome::kOk) return 2;

@@ -1,0 +1,167 @@
+// Threshold bisection: per-cell binary search for the masked -> manifested
+// transition along the knob axis.
+//
+// The search runs in intensity space t ∈ [0, 1] (t = 1 is the most intense
+// end of the range regardless of the axis direction), which keeps the
+// invariant simple: the predicate "manifests at t" is expected monotone
+// non-decreasing, [t_masked, t_manifested] brackets the transition, and
+// every probe halves the bracket. All open cells probe in the same round,
+// so the orchestrator pool gets one wide batch per bisection step instead
+// of per-cell trickles.
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "adaptive/strategy.hpp"
+
+namespace hsfi::adaptive {
+
+BisectionStrategy::BisectionStrategy(std::vector<Cell> cells,
+                                     BisectionConfig config)
+    : config_(std::move(config)),
+      cell_list_(std::move(cells)),
+      cells_(cell_list_.size()),
+      thresholds_(cell_list_.size()) {
+  if (config_.replicates == 0) config_.replicates = 1;
+  if (config_.min_manifested == 0) config_.min_manifested = 1;
+  const double span = config_.hi - config_.lo;
+  tolerance_ = config_.tolerance > 0.0 ? config_.tolerance : span / 64.0;
+}
+
+double BisectionStrategy::value(double t) const noexcept {
+  return config_.higher_is_more_intense
+             ? config_.lo + t * (config_.hi - config_.lo)
+             : config_.hi - t * (config_.hi - config_.lo);
+}
+
+double BisectionStrategy::width(const CellState& s) const noexcept {
+  return (s.t_manifested - s.t_masked) * std::abs(config_.hi - config_.lo);
+}
+
+void BisectionStrategy::finish(std::size_t i) {
+  CellState& s = cells_[i];
+  s.done = true;
+  CellThreshold& out = thresholds_[i];
+  out.runs = s.runs;
+  out.found = s.have_manifested;
+  if (s.have_manifested) {
+    out.manifested_at = value(s.t_manifested);
+    out.masked_at = s.have_masked ? value(s.t_masked)
+                                  : std::numeric_limits<double>::quiet_NaN();
+    out.converged = !s.have_masked || width(s) <= tolerance_;
+  } else {
+    // Even the most intense end of the range masked: no threshold here.
+    out.masked_at = value(s.t_masked);
+    out.manifested_at = std::numeric_limits<double>::quiet_NaN();
+    out.converged = true;
+  }
+}
+
+std::vector<RunRequest> BisectionStrategy::next_round(std::uint32_t round) {
+  pending_.clear();
+  std::vector<RunRequest> requests;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    CellState& s = cells_[i];
+    if (s.done) continue;
+    double t;
+    if (round == 0) {
+      // Establish the bracket: probe both endpoints in one round. The
+      // observe() pass pairs the two results per cell by position.
+      for (const double endpoint : {0.0, 1.0}) {
+        for (std::size_t rep = 0; rep < config_.replicates; ++rep) {
+          requests.push_back({cell_list_[i], value(endpoint)});
+          pending_.emplace_back(i, endpoint);
+        }
+      }
+      continue;
+    }
+    t = (s.t_masked + s.t_manifested) / 2.0;
+    for (std::size_t rep = 0; rep < config_.replicates; ++rep) {
+      requests.push_back({cell_list_[i], value(t)});
+      pending_.emplace_back(i, t);
+    }
+  }
+  return requests;
+}
+
+void BisectionStrategy::observe(const std::vector<Observation>& results) {
+  // Sum the manifested firings per issued (cell, t) probe point. pending_
+  // holds one entry per request in request order, so zip by position.
+  struct Probe {
+    std::size_t cell;
+    double t;
+    std::uint64_t manifested = 0;
+    bool any = false;
+  };
+  std::vector<Probe> probes;
+  for (std::size_t i = 0; i < results.size() && i < pending_.size(); ++i) {
+    const auto& [cell, t] = pending_[i];
+    if (probes.empty() || probes.back().cell != cell ||
+        probes.back().t != t) {
+      probes.push_back({cell, t, 0, false});
+    }
+    if (results[i].ok) {
+      probes.back().manifested += results[i].manifested();
+      probes.back().any = true;
+    }
+    cells_[cell].runs += 1;
+  }
+  pending_.clear();
+
+  for (const Probe& probe : probes) {
+    CellState& s = cells_[probe.cell];
+    // A probe whose every replicate failed (timed out / errored) is
+    // treated as manifested: a fault intensity that breaks the run
+    // outright is certainly not masked.
+    const bool manifested =
+        !probe.any || probe.manifested >= config_.min_manifested;
+    if (manifested) {
+      if (probe.t <= s.t_manifested) {
+        s.t_manifested = probe.t;
+        s.have_manifested = true;
+      }
+    } else if (probe.t >= s.t_masked) {
+      s.t_masked = probe.t;
+      s.have_masked = true;
+    }
+  }
+
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    CellState& s = cells_[i];
+    if (s.done) continue;
+    // Non-monotone outcome (midpoint manifested below a masked point, or
+    // the whole range on one side): the bracket collapses — stop rather
+    // than loop.
+    if (s.t_masked >= s.t_manifested) {
+      finish(i);
+      continue;
+    }
+    if (!s.have_manifested) {
+      // Top of the range masked: nothing to search for.
+      finish(i);
+      continue;
+    }
+    if (s.have_masked && width(s) <= tolerance_) {
+      finish(i);
+      continue;
+    }
+    if (!s.have_masked) {
+      // Bottom of the range already manifested: threshold is at or below
+      // the least intense end.
+      finish(i);
+    }
+  }
+}
+
+std::size_t BisectionStrategy::grid_equivalent_runs_per_cell()
+    const noexcept {
+  // A grid that resolves the threshold to the same tolerance needs a point
+  // every `tolerance_` along the range, endpoints included, with the same
+  // replicate count per point.
+  const double span = std::abs(config_.hi - config_.lo);
+  const auto points =
+      static_cast<std::size_t>(std::floor(span / tolerance_)) + 1;
+  return points * config_.replicates;
+}
+
+}  // namespace hsfi::adaptive

@@ -1,0 +1,167 @@
+#include "adaptive/controller.hpp"
+
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace hsfi::adaptive {
+
+namespace {
+
+/// Deterministic short rendering of a knob value for run names ("112.5",
+/// "8"). %.6g keeps sub-integer probes distinguishable without trailing
+/// zero noise.
+std::string knob_tag(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+Controller::Controller(AdaptiveSpec spec, ControllerConfig config)
+    : spec_(std::move(spec)), config_(std::move(config)) {
+  if (spec_.faults.empty()) {
+    spec_.faults.push_back({"baseline", std::nullopt});
+  }
+  if (spec_.directions.empty()) {
+    spec_.directions = {orchestrator::FaultDirection::kBoth};
+  }
+  startup_settle_ = spec_.startup_settle > 0
+                        ? spec_.startup_settle
+                        : spec_.testbed.map_period +
+                              spec_.testbed.map_reply_window +
+                              sim::milliseconds(50);
+}
+
+std::vector<Cell> Controller::cells() const {
+  std::vector<Cell> out;
+  out.reserve(spec_.faults.size() * spec_.directions.size());
+  for (std::uint32_t f = 0; f < spec_.faults.size(); ++f) {
+    for (std::uint32_t d = 0; d < spec_.directions.size(); ++d) {
+      out.push_back({f, d});
+    }
+  }
+  return out;
+}
+
+std::string Controller::cell_name(const Cell& cell) const {
+  std::string name = spec_.faults.at(cell.fault).name;
+  name += '/';
+  name += to_string(spec_.directions.at(cell.direction));
+  return name;
+}
+
+std::vector<orchestrator::RunSpec> Controller::expand_round(
+    const std::vector<RunRequest>& requests, std::uint32_t round,
+    std::size_t first_index, std::string_view strategy_name) const {
+  // Replicate ordinals are per (cell, knob value) within the round, in
+  // request order — the strategy's batching across cells cannot shift
+  // another cell's seeds.
+  std::map<std::pair<std::uint64_t, double>, std::uint32_t> replicate;
+  std::vector<orchestrator::RunSpec> runs;
+  runs.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const RunRequest& req = requests[i];
+    const auto& fault = spec_.faults.at(req.cell.fault);
+    const auto dir = spec_.directions.at(req.cell.direction);
+    const std::uint64_t cell_key =
+        (static_cast<std::uint64_t>(req.cell.fault) << 32) |
+        req.cell.direction;
+    const std::uint32_t rep = replicate[{cell_key, req.knob_value}]++;
+
+    orchestrator::RunSpec run;
+    run.index = first_index + i;
+    run.round = round;
+    run.strategy = std::string(strategy_name);
+    run.seed = derive_run_seed(spec_.base_seed, round, req.cell.fault,
+                               req.cell.direction, rep);
+    run.startup_settle = startup_settle_;
+    run.testbed = spec_.testbed;
+    run.testbed.seed = run.seed;
+    run.campaign = spec_.base;
+    run.campaign.seed = run.seed;
+    run.campaign.name = fault.name;
+    run.campaign.name += '/';
+    run.campaign.name += to_string(dir);
+    run.campaign.name += '/';
+    run.campaign.name += std::string(to_string(spec_.knob));
+    run.campaign.name += '=';
+    run.campaign.name += knob_tag(req.knob_value);
+    run.campaign.name += "/r";
+    run.campaign.name += std::to_string(rep);
+    run.campaign.fault_to_switch.reset();
+    run.campaign.fault_from_switch.reset();
+    if (fault.config) {
+      if (dir != orchestrator::FaultDirection::kFromSwitch) {
+        run.campaign.fault_to_switch = fault.config;
+      }
+      if (dir != orchestrator::FaultDirection::kToSwitch) {
+        run.campaign.fault_from_switch = fault.config;
+      }
+    }
+    // After fault installation, so kSeuLfsrBits sees the installed
+    // directions.
+    nftape::apply_knob(run.campaign, spec_.knob, req.knob_value);
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+CampaignOutcome Controller::run(Strategy& strategy) {
+  CampaignOutcome outcome;
+  orchestrator::Runner runner(config_.runner);
+
+  for (std::uint32_t round = 0; round < spec_.max_rounds; ++round) {
+    const std::vector<RunRequest> requests = strategy.next_round(round);
+    if (requests.empty()) {
+      outcome.converged = true;
+      break;
+    }
+    if (spec_.max_total_runs != 0 &&
+        outcome.records.size() + requests.size() > spec_.max_total_runs) {
+      break;
+    }
+    const auto runs = expand_round(requests, round, outcome.records.size(),
+                                   strategy.name());
+    // Batch barrier: run_batch returns only when the whole round finished.
+    // Records come back positional (= request order), so emission below is
+    // deterministic no matter how workers interleaved.
+    auto records = runner.run_batch(runs);
+
+    std::vector<Observation> observations;
+    observations.reserve(records.size());
+    RoundSummary summary;
+    summary.round = round;
+    summary.runs = records.size();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const orchestrator::RunRecord& rec = records[i];
+      const bool ok = rec.outcome == orchestrator::RunOutcome::kOk;
+      if (!ok) ++summary.failed;
+
+      Observation obs;
+      obs.request = requests[i];
+      obs.round = round;
+      obs.ok = ok;
+      obs.injections = rec.result.injections;
+      obs.duplicates = rec.result.duplicates();
+      obs.manifestations = rec.result.manifestations;
+      observations.push_back(obs);
+
+      outcome.cells.add_run(cell_name(requests[i].cell), ok,
+                            rec.result.manifestations, rec.result.injections,
+                            rec.result.duplicates(),
+                            &rec.result.manifestation_latency);
+      if (config_.on_record) config_.on_record(rec);
+      outcome.records.push_back(std::move(records[i]));
+    }
+
+    strategy.observe(observations);
+    outcome.rounds = round + 1;
+    summary.total_runs = outcome.records.size();
+    if (config_.on_round) config_.on_round(summary);
+  }
+  return outcome;
+}
+
+}  // namespace hsfi::adaptive

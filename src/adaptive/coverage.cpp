@@ -1,0 +1,86 @@
+// Coverage-driven exploration: keep replicating the cells whose rare
+// manifestation classes are still under-observed.
+//
+// A static grid spends most of its replicates re-confirming the common
+// classes (masked, crc_dropped); the paper's rare outcomes — misrouted
+// frames, mapping disruption — show up a handful of times across an entire
+// campaign. This strategy reallocates: a cell stays "open" while any
+// non-masked class is below the target count and the Wilson 95% upper
+// bound on its rate still allows it to plausibly appear; once every class
+// is either satisfied or statistically hopeless, the cell stops consuming
+// runs.
+#include <utility>
+
+#include "adaptive/stats.hpp"
+#include "adaptive/strategy.hpp"
+
+namespace hsfi::adaptive {
+
+using analysis::Manifestation;
+
+CoverageStrategy::CoverageStrategy(std::vector<Cell> cells,
+                                   CoverageConfig config)
+    : config_(std::move(config)),
+      cell_list_(std::move(cells)),
+      cells_(cell_list_.size()) {
+  if (config_.batch_replicates == 0) config_.batch_replicates = 1;
+  if (config_.target_count == 0) config_.target_count = 1;
+}
+
+std::size_t CoverageStrategy::index_of(const Cell& cell) const {
+  for (std::size_t i = 0; i < cell_list_.size(); ++i) {
+    if (cell_list_[i] == cell) return i;
+  }
+  return cell_list_.size();
+}
+
+ClassCoverage CoverageStrategy::coverage(std::size_t cell_index,
+                                         Manifestation m) const {
+  // Masked is the complement of everything else — never chased, so it is
+  // never a reason to keep a cell open.
+  if (m == Manifestation::kMasked) return ClassCoverage::kSatisfied;
+  const CellState& s = cells_[cell_index];
+  const std::uint64_t count = s.counts[m];
+  if (count >= config_.target_count) return ClassCoverage::kSatisfied;
+  if (s.injections >= config_.min_injections &&
+      wilson_upper(count, s.injections) < config_.hopeless_rate) {
+    return ClassCoverage::kHopeless;
+  }
+  return ClassCoverage::kOpen;
+}
+
+bool CoverageStrategy::cell_open(std::size_t cell_index) const {
+  for (const auto m : analysis::all_manifestations()) {
+    if (m == Manifestation::kMasked) continue;  // masked needs no chasing
+    if (coverage(cell_index, m) == ClassCoverage::kOpen) return true;
+  }
+  return false;
+}
+
+std::uint64_t CoverageStrategy::class_count(std::size_t cell_index,
+                                            Manifestation m) const {
+  return cells_[cell_index].counts[m];
+}
+
+std::vector<RunRequest> CoverageStrategy::next_round(std::uint32_t) {
+  std::vector<RunRequest> requests;
+  for (std::size_t i = 0; i < cell_list_.size(); ++i) {
+    if (!cell_open(i)) continue;
+    for (std::size_t rep = 0; rep < config_.batch_replicates; ++rep) {
+      requests.push_back({cell_list_[i], config_.knob_value});
+    }
+  }
+  return requests;
+}
+
+void CoverageStrategy::observe(const std::vector<Observation>& results) {
+  for (const Observation& obs : results) {
+    if (!obs.ok) continue;
+    const std::size_t i = index_of(obs.request.cell);
+    if (i >= cells_.size()) continue;
+    cells_[i].injections += obs.injections;
+    cells_[i].counts += obs.manifestations;
+  }
+}
+
+}  // namespace hsfi::adaptive

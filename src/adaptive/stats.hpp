@@ -1,0 +1,83 @@
+// Binomial-rate statistics shared by the adaptive strategies and the
+// campaign reports: Wilson score intervals over manifestation counts.
+//
+// The coverage strategy stops allocating replicates to a fault cell once
+// the Wilson interval around a class's rate is tight enough to call it
+// (either the target count is reached or the upper bound says the class is
+// effectively unreachable at this intensity), and the per-cell summary
+// tables print the same interval so a human reads the exact numbers the
+// controller acted on. Header-only on purpose: nftape and orchestrator
+// render these intervals without linking the adaptive library.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace hsfi::adaptive {
+
+/// Two-sided Wilson score interval for a binomial proportion.
+struct WilsonInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+  /// Point estimate successes/trials (0 when trials == 0).
+  double rate = 0.0;
+};
+
+/// Wilson score interval for `successes` out of `trials` at normal quantile
+/// `z` (1.96 = 95%). Unlike the Wald interval it never collapses to a zero
+/// width at the 0/n and n/n boundaries — exactly the cells the adaptive
+/// loop cares about (rare classes observed 0 times so far). trials == 0
+/// returns the vacuous [0, 1].
+[[nodiscard]] inline WilsonInterval wilson_interval(std::uint64_t successes,
+                                                    std::uint64_t trials,
+                                                    double z = 1.96) {
+  WilsonInterval w;
+  if (trials == 0) return w;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  w.rate = p;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double margin = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  w.lo = std::max(0.0, (center - margin) / denom);
+  w.hi = std::min(1.0, (center + margin) / denom);
+  return w;
+}
+
+/// Upper bound alone — the coverage strategy's "could this class still
+/// plausibly reach the target?" test.
+[[nodiscard]] inline double wilson_upper(std::uint64_t successes,
+                                         std::uint64_t trials,
+                                         double z = 1.96) {
+  return wilson_interval(successes, trials, z).hi;
+}
+
+[[nodiscard]] inline double wilson_lower(std::uint64_t successes,
+                                         std::uint64_t trials,
+                                         double z = 1.96) {
+  return wilson_interval(successes, trials, z).lo;
+}
+
+/// "k/n = 12.5% [8.1%, 18.7%]" — the cell format used by the per-cell
+/// summary tables. Fixed decimals so report output is byte-stable.
+[[nodiscard]] inline std::string format_rate_ci(std::uint64_t successes,
+                                                std::uint64_t trials) {
+  char buf[96];
+  if (trials == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu/0 = -",
+                  static_cast<unsigned long long>(successes));
+    return buf;
+  }
+  const WilsonInterval w = wilson_interval(successes, trials);
+  std::snprintf(buf, sizeof(buf), "%llu/%llu = %.1f%% [%.1f%%, %.1f%%]",
+                static_cast<unsigned long long>(successes),
+                static_cast<unsigned long long>(trials), 100.0 * w.rate,
+                100.0 * w.lo, 100.0 * w.hi);
+  return buf;
+}
+
+}  // namespace hsfi::adaptive

@@ -1,0 +1,39 @@
+#include "adaptive/strategy.hpp"
+
+#include <utility>
+
+namespace hsfi::adaptive {
+
+FixedGridStrategy::FixedGridStrategy(std::vector<Cell> cells,
+                                     FixedGridConfig config)
+    : cells_(std::move(cells)), config_(std::move(config)) {
+  if (config_.knob_values.empty()) {
+    config_.knob_values = {config_.neutral_value};
+  }
+  if (config_.replicates == 0) config_.replicates = 1;
+}
+
+std::vector<RunRequest> FixedGridStrategy::next_round(std::uint32_t round) {
+  std::vector<RunRequest> requests;
+  if (round != 0) return requests;
+  // Cell-major, then knob value, then replicate — the same nesting order
+  // as orchestrator::expand, so the fixed strategy reproduces the static
+  // grid's run sequence exactly (only the seed keys differ, now carrying
+  // the round).
+  requests.reserve(cells_.size() * config_.knob_values.size() *
+                   config_.replicates);
+  for (const auto& cell : cells_) {
+    for (const double v : config_.knob_values) {
+      for (std::size_t rep = 0; rep < config_.replicates; ++rep) {
+        requests.push_back({cell, v});
+      }
+    }
+  }
+  return requests;
+}
+
+void FixedGridStrategy::observe(const std::vector<Observation>&) {
+  // One-shot: nothing feeds back.
+}
+
+}  // namespace hsfi::adaptive

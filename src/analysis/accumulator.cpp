@@ -1,0 +1,25 @@
+#include "analysis/accumulator.hpp"
+
+namespace hsfi::analysis {
+
+void CellAccumulator::add_run(const std::string& cell, bool ok,
+                              const ManifestationBreakdown& manifestations,
+                              std::uint64_t injections,
+                              std::uint64_t duplicates,
+                              const Histogram* latency) {
+  CellStats& stats = cells_[cell];
+  ++stats.runs;
+  if (!ok) return;
+  ++stats.ok_runs;
+  stats.injections += injections;
+  stats.duplicates += duplicates;
+  stats.manifestations += manifestations;
+  if (latency != nullptr) stats.latency.merge(*latency);
+}
+
+const CellStats* CellAccumulator::find(const std::string& cell) const {
+  const auto it = cells_.find(cell);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+}  // namespace hsfi::analysis

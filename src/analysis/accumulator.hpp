@@ -1,0 +1,65 @@
+// Cheap per-cell accumulation of campaign results for closed-loop
+// controllers.
+//
+// The adaptive round barrier folds every finished run into its
+// fault × direction cell; strategies then read the cumulative breakdown to
+// decide the next batch (which cells still need replicates, where the
+// masked → manifested transition sits). Deliberately minimal — a
+// name-keyed map of plain counters plus the merged latency histogram — so
+// reading it between rounds costs nothing next to a single run. Keys are a
+// std::map, so iteration (and therefore every report built from it) is
+// name-sorted and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "analysis/manifestation.hpp"
+#include "analysis/metrics.hpp"
+
+namespace hsfi::analysis {
+
+/// Cumulative totals for one cell.
+struct CellStats {
+  std::uint64_t runs = 0;        ///< runs folded in
+  std::uint64_t ok_runs = 0;     ///< runs that completed (outcome ok)
+  std::uint64_t injections = 0;  ///< injector firings across ok runs
+  std::uint64_t duplicates = 0;  ///< surplus deliveries across ok runs
+  ManifestationBreakdown manifestations;
+  Histogram latency;             ///< merged firing -> first-effect delays
+
+  /// Firings with any observable downstream effect (everything but
+  /// masked). The breakdown sums to `injections`, so this is the
+  /// numerator of the cell's manifestation rate.
+  [[nodiscard]] std::uint64_t manifested() const noexcept {
+    return manifestations.total() -
+           manifestations[Manifestation::kMasked];
+  }
+};
+
+/// Name-keyed per-cell totals. The caller picks the key (the adaptive
+/// controller uses the "<fault>/<direction>" prefix of the run name).
+class CellAccumulator {
+ public:
+  /// Folds one run into `cell`. Counters only accumulate for ok runs
+  /// (a timed-out run has no trustworthy counters), but `runs` counts
+  /// every attempt so rates stay honest about failed work.
+  void add_run(const std::string& cell, bool ok,
+               const ManifestationBreakdown& manifestations,
+               std::uint64_t injections, std::uint64_t duplicates,
+               const Histogram* latency = nullptr);
+
+  [[nodiscard]] const CellStats* find(const std::string& cell) const;
+  [[nodiscard]] const std::map<std::string, CellStats>& cells()
+      const noexcept {
+    return cells_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return cells_.empty(); }
+  void clear() { cells_.clear(); }
+
+ private:
+  std::map<std::string, CellStats> cells_;
+};
+
+}  // namespace hsfi::analysis

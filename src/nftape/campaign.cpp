@@ -1,6 +1,7 @@
 #include "nftape/campaign.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -318,6 +319,47 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
   metrics_.counter("secondary_effects") += outcome.secondary_effects;
   metrics_.histogram("manifestation_latency").merge(outcome.latency);
   return r;
+}
+
+std::string_view to_string(Knob k) noexcept {
+  switch (k) {
+    case Knob::kSeuLfsrBits: return "seu-bits";
+    case Knob::kUdpIntervalUs: return "udp-us";
+    case Knob::kBurstSize: return "burst";
+  }
+  return "?";
+}
+
+std::optional<Knob> parse_knob(std::string_view s) {
+  if (s == "seu-bits") return Knob::kSeuLfsrBits;
+  if (s == "udp-us") return Knob::kUdpIntervalUs;
+  if (s == "burst") return Knob::kBurstSize;
+  return std::nullopt;
+}
+
+void apply_knob(CampaignSpec& spec, Knob knob, double value) {
+  switch (knob) {
+    case Knob::kSeuLfsrBits: {
+      const auto bits = static_cast<unsigned>(
+          std::clamp(std::llround(value), 0ll, 16ll));
+      const std::uint16_t mask =
+          bits == 0 ? std::uint16_t{0}
+                    : static_cast<std::uint16_t>((1u << bits) - 1u);
+      if (spec.fault_to_switch) spec.fault_to_switch->lfsr_mask = mask;
+      if (spec.fault_from_switch) spec.fault_from_switch->lfsr_mask = mask;
+      return;
+    }
+    case Knob::kUdpIntervalUs: {
+      const auto ns = std::max(std::llround(value * 1000.0), 1ll);
+      spec.workload.udp_interval = sim::nanoseconds(ns);
+      return;
+    }
+    case Knob::kBurstSize: {
+      spec.workload.burst_size =
+          static_cast<std::size_t>(std::max(std::llround(value), 1ll));
+      return;
+    }
+  }
 }
 
 }  // namespace hsfi::nftape

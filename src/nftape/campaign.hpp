@@ -17,6 +17,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "analysis/analyzer.hpp"
 #include "analysis/manifestation.hpp"
@@ -69,6 +70,32 @@ class RunCancelled : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// Per-run knobs a closed-loop controller tunes between rounds — the
+/// paper's adaptivity: the RS-232 command plane reprograms the injector
+/// (and the workload driver re-paces the senders) while the campaign is
+/// running, based on what the monitors observed. Each knob maps one scalar
+/// onto one field of the spec; `apply_knob` quantizes as needed.
+enum class Knob : std::uint8_t {
+  /// LFSR random-trigger thinning on every installed fault direction:
+  /// mask = (1 << bits) - 1, so the trigger fires on about one compare in
+  /// 2^bits. MORE bits = RARER firings (lower intensity).
+  kSeuLfsrBits,
+  /// Workload datagram interval in microseconds (sub-microsecond values
+  /// round to nanoseconds). SMALLER = more traffic (higher intensity).
+  kUdpIntervalUs,
+  /// Workload burst size (datagrams per wakeup); larger bursts collide at
+  /// the switch outputs and engage STOP/GO flow control.
+  kBurstSize,
+};
+
+[[nodiscard]] std::string_view to_string(Knob k) noexcept;
+[[nodiscard]] std::optional<Knob> parse_knob(std::string_view s);
+
+/// Applies `value` to the knob's field of `spec`. kSeuLfsrBits rewrites
+/// the lfsr_mask of every fault direction currently installed in the spec,
+/// so install faults first, then apply the knob.
+void apply_knob(CampaignSpec& spec, Knob knob, double value);
 
 /// Cooperative watchdog hook. The runner splits its settle() calls into
 /// poll_interval chunks and calls should_cancel between chunks with the

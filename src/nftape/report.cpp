@@ -4,6 +4,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "adaptive/stats.hpp"
+
 namespace hsfi::nftape {
 
 std::string cell(const char* fmt, ...) {
@@ -13,6 +15,10 @@ std::string cell(const char* fmt, ...) {
   std::vsnprintf(buf, sizeof buf, fmt, args);
   va_end(args);
   return buf;
+}
+
+std::string rate_cell(std::uint64_t successes, std::uint64_t trials) {
+  return adaptive::format_rate_ci(successes, trials);
 }
 
 namespace {

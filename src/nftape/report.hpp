@@ -3,6 +3,7 @@
 // the paper's tables.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,5 +35,11 @@ class Report {
 
 /// printf-style cell helper.
 [[nodiscard]] std::string cell(const char* fmt, ...);
+
+/// Binomial-rate cell with its Wilson 95% confidence interval, e.g.
+/// "3/40 = 7.5% [2.6%, 19.9%]" — the standard rendering for per-cell
+/// manifestation rates (see src/adaptive/stats.hpp for the math).
+[[nodiscard]] std::string rate_cell(std::uint64_t successes,
+                                    std::uint64_t trials);
 
 }  // namespace hsfi::nftape

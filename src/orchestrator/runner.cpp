@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/accumulator.hpp"
 #include "analysis/manifestation.hpp"
 #include "nftape/testbed.hpp"
 #include "orchestrator/jsonl.hpp"
@@ -59,6 +60,12 @@ std::string to_jsonl(const RunRecord& r, bool include_timing) {
   o.add_u64("run", r.index);
   o.add("name", r.name);
   o.add_u64("seed", r.seed);
+  // Closed-loop provenance only when a strategy tagged the run, so static
+  // sweeps keep the exact pre-adaptive record format.
+  if (!r.strategy.empty()) {
+    o.add_u64("round", r.round);
+    o.add("strategy", r.strategy);
+  }
   o.add("outcome", to_string(r.outcome));
   o.add_i64("attempts", r.attempts);
   o.add_i64("timeouts", r.timeouts);
@@ -129,12 +136,45 @@ nftape::Report summarize(const std::string& title,
   return report;
 }
 
+nftape::Report cell_summary(const std::string& title,
+                            const std::vector<RunRecord>& records) {
+  // Cell = the "<fault>/<direction>" prefix of the run name (the first two
+  // '/'-separated segments); records with shorter names fall into one cell
+  // keyed by the whole name.
+  analysis::CellAccumulator cells;
+  for (const auto& r : records) {
+    std::string cell = r.name;
+    const auto first = r.name.find('/');
+    if (first != std::string::npos) {
+      const auto second = r.name.find('/', first + 1);
+      if (second != std::string::npos) cell = r.name.substr(0, second);
+    }
+    cells.add_run(cell, r.outcome == RunOutcome::kOk, r.result.manifestations,
+                  r.result.injections, r.result.duplicates(),
+                  &r.result.manifestation_latency);
+  }
+
+  nftape::Report report(title);
+  report.set_header({"cell", "runs", "injections", "manifested (Wilson 95%)",
+                     "dups", "classes"});
+  for (const auto& [name, stats] : cells.cells()) {
+    report.add_row({name, nftape::cell("%llu", (unsigned long long)stats.runs),
+                    nftape::cell("%llu", (unsigned long long)stats.injections),
+                    nftape::rate_cell(stats.manifested(), stats.injections),
+                    nftape::cell("%llu", (unsigned long long)stats.duplicates),
+                    analysis::describe(stats.manifestations)});
+  }
+  return report;
+}
+
 Runner::Runner(RunnerConfig config) : config_(std::move(config)) {}
 
 void Runner::execute_one(const RunSpec& run, RunRecord& rec) {
   rec.index = run.index;
   rec.name = run.campaign.name;
   rec.seed = run.seed;
+  rec.round = run.round;
+  rec.strategy = run.strategy;
 
   // Auto simulated-time cap: generous for a healthy run of this spec's own
   // span, fatal for a livelocked simulation.
@@ -184,6 +224,11 @@ void Runner::execute_one(const RunSpec& run, RunRecord& rec) {
 }
 
 std::vector<RunRecord> Runner::run_all(const std::vector<RunSpec>& runs) {
+  progress_ = Progress{};
+  return run_batch(runs);
+}
+
+std::vector<RunRecord> Runner::run_batch(const std::vector<RunSpec>& runs) {
   std::vector<RunRecord> records(runs.size());
   if (runs.empty()) return records;
 
@@ -194,8 +239,8 @@ std::vector<RunRecord> Runner::run_all(const std::vector<RunSpec>& runs) {
 
   std::atomic<std::size_t> next{0};
   std::mutex mu;  // guards progress + both callbacks
-  Progress progress;
-  progress.total = runs.size();
+  Progress& progress = progress_;
+  progress.total += runs.size();
 
   const auto work = [&] {
     for (;;) {

@@ -41,6 +41,8 @@ struct RunRecord {
   std::size_t index = 0;
   std::string name;
   std::uint64_t seed = 0;
+  std::uint32_t round = 0;  ///< adaptive round (meaningful when strategy set)
+  std::string strategy;     ///< adaptive strategy tag; empty for static sweeps
   RunOutcome outcome = RunOutcome::kError;
   int attempts = 0;  ///< executor invocations (1 normally, 2 after a retry)
   int timeouts = 0;  ///< attempts the watchdog cancelled
@@ -59,6 +61,14 @@ struct RunRecord {
 /// Aggregate table over a finished sweep: one row per run plus totals.
 [[nodiscard]] nftape::Report summarize(const std::string& title,
                                        const std::vector<RunRecord>& records);
+
+/// Per-cell aggregate: records grouped by the "<fault>/<direction>" prefix
+/// of their run name, with the manifestation rate (manifested firings /
+/// injections) and its Wilson 95% confidence interval per cell — the same
+/// interval the adaptive coverage strategy stops on, so the table shows
+/// exactly the numbers the controller acted on.
+[[nodiscard]] nftape::Report cell_summary(const std::string& title,
+                                          const std::vector<RunRecord>& records);
 
 struct Progress {
   std::size_t total = 0;
@@ -99,8 +109,17 @@ class Runner {
   explicit Runner(RunnerConfig config = {});
 
   /// Executes every run and returns records indexed by RunSpec::index.
-  /// Blocks until all runs finish (or are cancelled).
+  /// Blocks until all runs finish (or are cancelled). Resets the
+  /// cross-batch Progress accumulation first (one-shot sweeps).
   std::vector<RunRecord> run_all(const std::vector<RunSpec>& runs);
+
+  /// Batch submission for closed-loop controllers: executes one round of
+  /// runs and returns its records (positional, like run_all), but Progress
+  /// accumulates across batches so on_progress reports campaign-wide
+  /// totals while the controller alternates submit / observe. The batch
+  /// boundary is a synchronization point: run_batch returns only when
+  /// every run of the batch has finished.
+  std::vector<RunRecord> run_batch(const std::vector<RunSpec>& runs);
 
   /// Cooperative kill switch: in-flight runs are cancelled at their next
   /// watchdog poll (marked timed_out, no retry); queued runs still start
@@ -112,6 +131,10 @@ class Runner {
 
   RunnerConfig config_;
   std::atomic<bool> cancelled_{false};
+  /// Campaign-wide progress, accumulated across run_batch calls. Only
+  /// touched between batches (the pool itself guards it with a mutex while
+  /// running), so no atomicity is needed here.
+  Progress progress_;
 };
 
 /// Thread-safe streaming sink: one JSONL line per finished record, in

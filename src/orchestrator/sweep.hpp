@@ -74,6 +74,12 @@ struct RunSpec {
   std::size_t index = 0;    ///< position in the expanded grid
   std::uint64_t seed = 0;   ///< derive_seed(base_seed, index)
   sim::Duration startup_settle = 0;  ///< resolved (never 0)
+  /// Closed-loop provenance (src/adaptive): which controller round issued
+  /// this run and under which strategy. Static sweeps leave `strategy`
+  /// empty, and the JSONL record then carries neither field — the legacy
+  /// record format is a strict prefix-compatible subset.
+  std::uint32_t round = 0;
+  std::string strategy;
   nftape::CampaignSpec campaign;
   nftape::TestbedConfig testbed;
 };
