@@ -17,6 +17,7 @@
 #include "host/traffic.hpp"
 #include "myrinet/control.hpp"
 #include "nftape/campaign.hpp"
+#include "nftape/fabric.hpp"
 #include "nftape/faults.hpp"
 #include "nftape/testbed.hpp"
 #include "orchestrator/runner.hpp"
@@ -157,6 +158,32 @@ std::uint64_t scenario_manifestations(bool smoke) {
   return bed.sim().executed_events() - begin;
 }
 
+/// FC pass-through: the same saturating flood window realized over the
+/// FcFabric — per-character ordered-set scanning, CRC-32, BB-credit
+/// bookkeeping, and sequence reassembly are the hot path here, none of
+/// which the Myrinet scenarios touch.
+std::uint64_t scenario_fc_passthrough(bool smoke) {
+  auto config = standard_testbed();
+  config.fc.rx_processing_time = sim::microseconds(1);
+  const auto fabric = nftape::make_fabric(nftape::Medium::kFc, config);
+  fabric->start();
+  fabric->settle(sim::milliseconds(10));
+
+  nftape::CampaignSpec spec;
+  spec.name = "fc-passthrough";
+  spec.medium = nftape::Medium::kFc;
+  spec.warmup = sim::milliseconds(5);
+  spec.duration = sim::milliseconds(smoke ? 20 : 100);
+  spec.drain = sim::milliseconds(5);
+  spec.workload.udp_interval = sim::microseconds(12);
+  spec.workload.payload_size = 256;
+  spec.workload.burst_size = 4;
+  spec.workload.jitter = 0.5;
+  nftape::CampaignRunner runner(*fabric);
+  (void)runner.run(spec);
+  return fabric->sim().executed_events();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -168,5 +195,7 @@ int main(int argc, char** argv) {
   harness.measure("seu_sweep", [smoke] { return scenario_seu_sweep(smoke); });
   harness.measure("manifestations",
                   [smoke] { return scenario_manifestations(smoke); });
+  harness.measure("fc_passthrough",
+                  [smoke] { return scenario_fc_passthrough(smoke); });
   return harness.finish();
 }

@@ -2,109 +2,87 @@
 // simultaneously over both of these networks" (abstract) — the board
 // carries both a MyriPHY and an FCPHY (paper Fig. 4).
 //
-// One injector device is spliced into the Myrinet testbed (as always);
-// a second injector device — the same core logic behind the other PHY —
-// is spliced into a Fibre Channel link. Both corrupt traffic at the same
-// simulated time while the monitor reads statistics from each.
+// Since the Fabric refactor this is one campaign definition realized over
+// both media: the same warmup/window/workload spec, the same 8-class
+// manifestation taxonomy, the same counter snapshot — only the fault's
+// compare/corrupt vectors are retargeted at each medium's framing (GAP
+// symbols on Myrinet, the sequence payload fill on FC). Everything that
+// used to be hand-wired here (splicing, workload, monitors, statistics)
+// now comes from nftape::make_fabric + CampaignRunner.
 //
 // Build & run:  ./build/examples/dual_media_monitor
 #include <cstdio>
 
-#include "fc/port.hpp"
-#include "host/traffic.hpp"
+#include "fc/frame.hpp"
+#include "nftape/campaign.hpp"
+#include "nftape/fabric.hpp"
 #include "nftape/faults.hpp"
-#include "nftape/testbed.hpp"
 #include "phy/serdes.hpp"
 
 using namespace hsfi;
 
-int main() {
-  // ---- Myrinet side: the usual Fig. 10 testbed -------------------------
+namespace {
+
+/// The shared campaign shape; only the medium and fault differ per run.
+nftape::CampaignResult run_on(nftape::Medium medium,
+                              const core::InjectorConfig& fault) {
   nftape::TestbedConfig config;
   config.map_period = sim::milliseconds(100);
-  nftape::Testbed bed(config);
-  bed.start();
-  bed.settle(sim::milliseconds(150));
+  const auto fabric = nftape::make_fabric(medium, config);
+  fabric->start();
+  fabric->settle(sim::milliseconds(150));
 
-  // ---- Fibre Channel side: two N_Ports spliced with a second device ----
-  sim::Simulator& sim = bed.sim();
-  const sim::Duration fc_period = sim::picoseconds(9'412);  // 1.0625 Gb/s
-  link::DuplexLink fc_left(sim, "fcL", fc_period, sim::nanoseconds(5));
-  link::DuplexLink fc_right(sim, "fcR", fc_period, sim::nanoseconds(5));
-  core::InjectorDevice::Config fc_dev_config;
-  fc_dev_config.character_period = fc_period;
-  core::InjectorDevice fc_injector(sim, "fi-fc", fc_dev_config);
-  fc::FcPort port_a(sim, "fca", {});
-  fc::FcPort port_b(sim, "fcb", {});
-  port_a.attach(fc_left.b_to_a(), fc_left.a_to_b());
-  fc_injector.attach_left(fc_left.a_to_b(), fc_left.b_to_a());
-  fc_injector.attach_right(fc_right.b_to_a(), fc_right.a_to_b());
-  port_b.attach(fc_right.a_to_b(), fc_right.b_to_a());
+  nftape::CampaignSpec spec;
+  spec.name = std::string(nftape::to_string(medium));
+  spec.medium = medium;
+  spec.fault_from_switch = fault;
+  spec.warmup = sim::milliseconds(5);
+  spec.duration = sim::milliseconds(50);
+  spec.drain = sim::milliseconds(5);
+  spec.workload.udp_interval = sim::microseconds(100);
+  nftape::CampaignRunner runner(*fabric);
+  return runner.run(spec);
+}
 
-  // Corrupt a payload byte of FC frames in flight (no FC CRC-32 repair:
-  // the frame CRC catches it, like the Myrinet destination campaign).
-  core::InjectorConfig fc_fault;
-  fc_fault.match_mode = core::MatchMode::kOn;
-  fc_fault.corrupt_mode = core::CorruptMode::kToggle;
-  fc_fault.compare_data = 0x5A5A5A5A;  // payload fill pattern
-  fc_fault.compare_mask = 0xFFFFFFFF;
-  fc_fault.compare_ctl = 0x0;
-  fc_fault.compare_ctl_mask = 0xF;
-  fc_fault.corrupt_data = 0x00000001;
-  fc_injector.apply(core::Direction::kLeftToRight, fc_fault);
-
-  // Myrinet side corrupts GAP framing simultaneously.
-  bed.injector().apply(core::Direction::kLeftToRight,
-                       nftape::control_symbol_corruption(
-                           myrinet::ControlSymbol::kGap,
-                           myrinet::ControlSymbol::kIdle));
-
-  // ---- Drive both media at once ----------------------------------------
-  host::UdpSink sink(bed.host(1), 9);
-  host::UdpFlood::Config fl;
-  fl.target = 2;
-  fl.interval = sim::microseconds(100);
-  fl.max_packets = 500;
-  host::UdpFlood flood(sim, bed.host(0), fl);
-  flood.start();
-
-  int fc_delivered = 0;
-  port_b.on_frame([&fc_delivered](fc::FcFrame, sim::SimTime) {
-    ++fc_delivered;
-  });
-  for (int i = 0; i < 200; ++i) {
-    fc::FcFrame frame;
-    frame.header.d_id = 2;
-    frame.header.s_id = 1;
-    frame.header.seq_cnt = static_cast<std::uint16_t>(i);
-    frame.payload.assign(64, 0x5A);
-    port_a.send(frame);
+void report(const char* banner, const nftape::CampaignResult& r) {
+  std::printf("=== %s ===\n", banner);
+  std::printf("sent=%llu received=%llu loss=%.1f%% injections=%llu\n",
+              (unsigned long long)r.messages_sent,
+              (unsigned long long)r.messages_received, 100.0 * r.loss_rate(),
+              (unsigned long long)r.injections);
+  std::printf("manifestations:");
+  for (const auto m : analysis::all_manifestations()) {
+    if (r.manifestations[m] == 0) continue;
+    std::printf(" %s:%llu", std::string(analysis::to_string(m)).c_str(),
+                (unsigned long long)r.manifestations[m]);
   }
-  bed.settle(sim::milliseconds(100));
+  std::printf("\n");
+  if (r.medium == nftape::Medium::kFc) {
+    std::printf("credit stalls=%llu sequence aborts=%llu\n",
+                (unsigned long long)r.fc_credit_stalls,
+                (unsigned long long)r.fc_sequences_aborted);
+    std::printf("(a corrupted frame is dropped by CRC-32 before a receive "
+                "buffer frees, so\n its R_RDY never returns: BB credit leaks "
+                "until the recovery timeout —\n a failure mode specific to "
+                "credit-based flow control)\n");
+  }
+  std::printf("\n");
+}
 
-  // ---- Monitor both campaigns ------------------------------------------
-  std::printf("=== Myrinet link (GAP -> IDLE corruption) ===\n");
-  const auto& mstats =
-      bed.injector().stream_stats(core::Direction::kLeftToRight);
-  std::printf("%s", mstats.render().c_str());
-  std::printf("udp sent=500 received=%llu crc-drops=%llu\n\n",
-              (unsigned long long)sink.received(),
-              (unsigned long long)bed.nic(1).stats().crc_errors);
+}  // namespace
 
-  std::printf("=== Fibre Channel link (payload toggle) ===\n");
-  std::printf("frames sent=%llu delivered=%d crc32-drops=%llu "
-              "credit stalls=%llu\n",
-              (unsigned long long)port_a.stats().frames_sent, fc_delivered,
-              (unsigned long long)port_b.stats().crc_errors,
-              (unsigned long long)port_a.stats().credit_stall_events);
-  std::printf("fc injector injections=%llu\n",
-              (unsigned long long)
-                  fc_injector.fifo_stats(core::Direction::kLeftToRight)
-                      .injections);
-  std::printf("(every frame is corrupted and dropped by CRC-32 before a "
-              "receive buffer frees,\n so no R_RDY ever returns: the sender "
-              "exhausts its BB credit and stalls — a\n failure mode specific "
-              "to credit-based flow control that the injector exposes)\n\n");
+int main() {
+  // Myrinet: corrupt every GAP into IDLE — framing damage the receiving
+  // interface reports as marker errors.
+  report("Myrinet link (GAP -> IDLE corruption)",
+         run_on(nftape::Medium::kMyrinet,
+                nftape::control_symbol_corruption(myrinet::ControlSymbol::kGap,
+                                                  myrinet::ControlSymbol::kIdle)));
+
+  // Fibre Channel: flip payload-fill bits in flight (LFSR-thinned); the
+  // frame CRC-32 catches them, like the Myrinet destination campaign.
+  report("Fibre Channel link (payload fill toggle)",
+         run_on(nftape::Medium::kFc, nftape::fc_fill_corruption(0x5A, 0x000F)));
 
   // ---- And the FC wire itself: 8b/10b error surface --------------------
   fc::FcFrame probe;

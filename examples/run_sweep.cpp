@@ -21,8 +21,10 @@
 
 #include "adaptive/controller.hpp"
 #include "adaptive/strategy.hpp"
+#include "fc/frame.hpp"
 #include "myrinet/control.hpp"
 #include "nftape/faults.hpp"
+#include "nftape/medium.hpp"
 #include "orchestrator/jsonl.hpp"
 #include "orchestrator/runner.hpp"
 #include "orchestrator/sweep.hpp"
@@ -48,6 +50,28 @@ std::vector<orchestrator::FaultPoint> fault_axis() {
   };
 }
 
+/// The FC fault axis: the same compare/corrupt pipeline aimed at FC symbol
+/// streams. The LFSR-thinned points keep the seu-bits knob meaningful on
+/// this medium too.
+std::vector<orchestrator::FaultPoint> fc_fault_axis() {
+  return {
+      {"seu-00FF", nftape::random_bit_flip_seu(0x00FF)},
+      {"fill-flip", nftape::fc_fill_corruption(0x5A, 0x003F)},
+      {"comma-strike", nftape::fc_comma_strike(0x00FF)},
+      {"sofi3-blank",
+       nftape::fc_ordered_set_corruption(fc::OrderedSet::kSofI3, 0x000F)},
+      {"eoft-blank",
+       nftape::fc_ordered_set_corruption(fc::OrderedSet::kEofT, 0x000F)},
+      {"rrdy-drop",
+       nftape::fc_ordered_set_corruption(fc::OrderedSet::kRRdy, 0x000F)},
+      {"domain-ee", nftape::fc_domain_corruption(0xEE, 0x0003)},
+  };
+}
+
+std::vector<orchestrator::FaultPoint> fault_axis_for(nftape::Medium medium) {
+  return medium == nftape::Medium::kFc ? fc_fault_axis() : fault_axis();
+}
+
 void usage(std::FILE* to = stdout) {
   std::fprintf(
       to,
@@ -61,8 +85,10 @@ void usage(std::FILE* to = stdout) {
       "                   is nondeterministic; omit for byte-comparable runs)\n"
       "  --bench-out FILE write sweep throughput in the BENCH_sim_kernel.json\n"
       "                   schema ({bench, metric, value, unit, commit})\n"
+      "  --medium M       network under test: myrinet (default) or fc; picks\n"
+      "                   the fabric realization and the fault axis\n"
       "  --faults a,b,c   restrict the fault axis (see --list)\n"
-      "  --list           print the fault axis and exit\n"
+      "  --list           print the selected medium's fault axis and exit\n"
       "  --strategy S     closed-loop campaign instead of the static grid:\n"
       "                   fixed (the static grid through the controller),\n"
       "                   bisect (binary-search the manifestation threshold\n"
@@ -147,6 +173,8 @@ int main(int argc, char** argv) {
   std::string bench_out_path;
   bool timing = false;
   std::string fault_filter;
+  nftape::Medium medium = nftape::Medium::kMyrinet;
+  bool list_only = false;
   std::string strategy_name;
   long tolerance_us = 24;
   std::uint32_t max_rounds = 12;
@@ -194,6 +222,15 @@ int main(int argc, char** argv) {
       timing = true;
     } else if (arg == "--faults") {
       fault_filter = value();
+    } else if (arg == "--medium") {
+      const char* v = value();
+      const auto parsed = nftape::parse_medium(v);
+      if (!parsed) {
+        std::fprintf(stderr, "--medium must be myrinet or fc, got '%s'\n\n", v);
+        usage(stderr);
+        return 1;
+      }
+      medium = *parsed;
     } else if (arg == "--strategy") {
       strategy_name = value();
       if (strategy_name != "fixed" && strategy_name != "bisect" &&
@@ -219,8 +256,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--dry-run") {
       dry_run = true;
     } else if (arg == "--list") {
-      for (const auto& f : fault_axis()) std::printf("%s\n", f.name.c_str());
-      return 0;
+      // Deferred past parsing so `--medium fc --list` works in any order.
+      list_only = true;
     } else if (arg == "--help") {
       usage();
       return 0;
@@ -231,16 +268,26 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (list_only) {
+    for (const auto& f : fault_axis_for(medium)) {
+      std::printf("%s\n", f.name.c_str());
+    }
+    return 0;
+  }
+
   orchestrator::SweepSpec sweep;
-  sweep.name = "control-plane sweep";
+  sweep.name = medium == nftape::Medium::kFc ? "fc symbol sweep"
+                                             : "control-plane sweep";
   sweep.base_seed = seed;
+  sweep.base.medium = medium;
   sweep.replicates = replicates == 0 ? 1 : replicates;
   // STOP/GO symbols originate mostly on the switch side (back-pressure
   // toward the sender), so the from-switch direction is the interesting
-  // single-direction point.
+  // single-direction point. On FC the same pair covers R_RDY starvation
+  // (from-switch strips the credit returns node 0's sender lives on).
   sweep.directions = {orchestrator::FaultDirection::kFromSwitch,
                       orchestrator::FaultDirection::kBoth};
-  for (auto& f : fault_axis()) {
+  for (auto& f : fault_axis_for(medium)) {
     if (!fault_filter.empty()) {
       const std::string needle = "," + f.name + ",";
       const std::string hay = "," + fault_filter + ",";
@@ -256,6 +303,9 @@ int main(int argc, char** argv) {
   sweep.testbed.map_period = sim::milliseconds(100);
   sweep.testbed.nic_config.rx_processing_time = sim::microseconds(1);
   sweep.testbed.send_stack_time = sim::microseconds(1);
+  // FC realization: drain receive buffers faster than the 12 us sequence
+  // pace so the healthy path never stalls on credits.
+  sweep.testbed.fc.rx_processing_time = sim::microseconds(1);
   sweep.base.warmup = sim::milliseconds(10);
   sweep.base.duration = sim::milliseconds(duration_ms);
   sweep.base.drain = sim::milliseconds(10);

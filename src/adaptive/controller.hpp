@@ -15,6 +15,12 @@
 //  * strategies are pure functions of their observation history, and
 //    observations are deterministic, so the whole campaign is replayable
 //    from (spec, base seed) alone.
+//
+// The loop is also medium-agnostic: the base CampaignSpec's medium rides
+// through expand_round into every RunSpec copy, the executor realizes it
+// via nftape::make_fabric, and strategies only ever see manifestation
+// breakdowns and knob values — so bisection and coverage campaigns run
+// unmodified over Myrinet or Fibre Channel.
 #pragma once
 
 #include <cstdint>

@@ -10,8 +10,9 @@ FcFabric::FcFabric(sim::Simulator& simulator, std::string name, Config config)
   for (std::size_t i = 0; i < config.num_ports; ++i) {
     auto port = std::make_unique<FcPort>(
         simulator_, name_ + ".p" + std::to_string(i), config.port);
-    port->on_frame(
-        [this](FcFrame frame, sim::SimTime) { forward(std::move(frame)); });
+    port->on_frame([this](FcFrame frame, sim::SimTime when) {
+      forward(std::move(frame), when);
+    });
     ports_.push_back(std::move(port));
   }
 }
@@ -25,11 +26,17 @@ void FcFabric::set_route(std::uint8_t domain, std::size_t port) {
   routes_[domain] = port;
 }
 
-void FcFabric::forward(FcFrame frame) {
+void FcFabric::reset_for_campaign() {
+  stats_ = Stats{};
+  for (auto& p : ports_) p->reset_for_campaign();
+}
+
+void FcFabric::forward(FcFrame frame, sim::SimTime when) {
   const auto domain = static_cast<std::uint8_t>(frame.header.d_id >> 16);
   const auto it = routes_.find(domain);
   if (it == routes_.end() || it->second >= ports_.size()) {
     ++stats_.frames_discarded;  // class 3: silently discarded
+    if (discard_) discard_(frame, when);
     return;
   }
   ++stats_.frames_forwarded;

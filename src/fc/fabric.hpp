@@ -44,18 +44,29 @@ class FcFabric {
   /// Routes destination domain `domain` (d_id >> 16) out of `port`.
   void set_route(std::uint8_t domain, std::size_t port);
 
+  /// Tap on every class-3 silent discard (no route for the D_ID) — the
+  /// misroute observable an injection campaign correlates against.
+  using DiscardHandler = std::function<void(const FcFrame&, sim::SimTime)>;
+  void on_discard(DiscardHandler handler) { discard_ = std::move(handler); }
+
+  /// Campaign reset: fabric statistics plus every port's state (stats,
+  /// credits, queues) back to fresh-construction values.
+  void reset_for_campaign();
+
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const FcPort& port(std::size_t i) const { return *ports_.at(i); }
+  [[nodiscard]] FcPort& port(std::size_t i) { return *ports_.at(i); }
   [[nodiscard]] std::size_t num_ports() const noexcept { return ports_.size(); }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
  private:
-  void forward(FcFrame frame);
+  void forward(FcFrame frame, sim::SimTime when);
 
   sim::Simulator& simulator_;
   std::string name_;
   std::vector<std::unique_ptr<FcPort>> ports_;
   std::map<std::uint8_t, std::size_t> routes_;
+  DiscardHandler discard_;
   Stats stats_;
 };
 

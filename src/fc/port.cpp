@@ -46,7 +46,9 @@ void FcPort::pump_tx() {
         if (!stalled_reported_) {
           ++stats_.credit_stall_events;
           stalled_reported_ = true;
+          emit_event(Event::kCreditStall, simulator_.now());
         }
+        schedule_credit_recovery();
         return;  // resumes when an R_RDY returns a credit
       }
       stalled_reported_ = false;
@@ -86,7 +88,6 @@ void FcPort::on_burst(const link::Burst& burst) {
 }
 
 void FcPort::feed(link::Symbol s, sim::SimTime when) {
-  (void)when;
   if (!set_accum_.empty()) {
     set_accum_.push_back(Char8{s.data, s.control});
     if (set_accum_.size() == 4) {
@@ -95,6 +96,7 @@ void FcPort::feed(link::Symbol s, sim::SimTime when) {
       set_accum_.clear();
       if (!os) {
         ++stats_.malformed_sets;
+        emit_event(Event::kMalformedSet, when);
         // A broken SOF/EOF poisons any open frame.
         if (in_frame_) {
           in_frame_ = false;
@@ -102,7 +104,7 @@ void FcPort::feed(link::Symbol s, sim::SimTime when) {
         }
         return;
       }
-      handle_ordered_set(*os);
+      handle_ordered_set(*os, when);
     }
     return;
   }
@@ -115,15 +117,19 @@ void FcPort::feed(link::Symbol s, sim::SimTime when) {
     return;
   }
   ++stats_.stray_data;
+  emit_event(Event::kStrayData, when);
 }
 
-void FcPort::handle_ordered_set(OrderedSet os) {
+void FcPort::handle_ordered_set(OrderedSet os, sim::SimTime when) {
   switch (os) {
     case OrderedSet::kIdle:
       break;
     case OrderedSet::kRRdy:
       ++stats_.rrdy_received;
       ++credits_;
+      // A credit came back, so the peer is alive: any pending stall
+      // timeout was a false alarm.
+      cancel_credit_recovery();
       schedule_pump_tx();
       break;
     case OrderedSet::kSofI3:
@@ -134,31 +140,72 @@ void FcPort::handle_ordered_set(OrderedSet os) {
       break;
     case OrderedSet::kEofN:
     case OrderedSet::kEofT:
-      if (in_frame_) complete_frame(os);
+      if (in_frame_) complete_frame(os, when);
       in_frame_ = false;
       break;
   }
 }
 
-void FcPort::complete_frame(OrderedSet eof) {
+void FcPort::complete_frame(OrderedSet eof, sim::SimTime when) {
   FcParsed parsed = parse_frame_body(body_);
   body_.clear();
   parsed.frame.sof = sof_seen_;
   parsed.frame.eof = eof;
   if (parsed.status == FcParseStatus::kCrcError) {
     ++stats_.crc_errors;
+    emit_event(Event::kCrcError, when);
     return;
   }
   if (parsed.status != FcParseStatus::kOk) {
     ++stats_.malformed_sets;
+    emit_event(Event::kMalformedSet, when);
     return;
   }
   if (rx_buffers_.size() >= config_.rx_buffers) {
     ++stats_.rx_overflows;  // sender overran our advertised credit
+    emit_event(Event::kRxOverflow, when);
     return;
   }
   rx_buffers_.push_back(std::move(parsed.frame));
   schedule_rx_drain();
+}
+
+void FcPort::schedule_credit_recovery() {
+  if (config_.credit_recovery_timeout <= 0) return;
+  if (credit_recovery_event_ != sim::kInvalidEventId) return;
+  credit_recovery_event_ = simulator_.schedule_in(
+      config_.credit_recovery_timeout, [this] {
+        credit_recovery_event_ = sim::kInvalidEventId;
+        if (credits_ != 0) return;  // recovered on its own meanwhile
+        // No R_RDY for a full timeout: the returns were corrupted in
+        // flight and class 3 will never resend them. Reset to the login
+        // value, the way a real port's link timeout + credit recovery
+        // brings a wedged link back.
+        credits_ = config_.bb_credit;
+        ++stats_.credit_recoveries;
+        schedule_pump_tx();
+      });
+}
+
+void FcPort::cancel_credit_recovery() {
+  if (credit_recovery_event_ == sim::kInvalidEventId) return;
+  simulator_.cancel(credit_recovery_event_);
+  credit_recovery_event_ = sim::kInvalidEventId;
+}
+
+void FcPort::reset_for_campaign() {
+  stats_ = Stats{};
+  credits_ = config_.bb_credit;
+  stalled_reported_ = false;
+  cancel_credit_recovery();
+  tx_queue_.clear();
+  tx_current_.clear();
+  tx_offset_ = 0;
+  set_accum_.clear();
+  in_frame_ = false;
+  body_.clear();
+  rx_buffers_.clear();
+  // Pending pump/drain wakeups stay scheduled; both no-op on empty state.
 }
 
 void FcPort::schedule_rx_drain() {

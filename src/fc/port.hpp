@@ -33,6 +33,12 @@ class FcPort final : public link::SymbolSink {
     /// 1.0625 Gb/s => one 10-bit character every ~9.4 ns.
     sim::Duration character_period = sim::picoseconds(9'412);
     sim::Duration rx_processing_time = sim::microseconds(5);
+    /// Credit-recovery timeout (the model's stand-in for FC-PH link timeout
+    /// plus credit recovery): a transmit stall that sees no R_RDY for this
+    /// long means credits were lost to corruption — class 3 never returns
+    /// them — so the port resets its count to bb_credit and carries on.
+    /// 0 disables (a corrupted R_RDY then wedges the link permanently).
+    sim::Duration credit_recovery_timeout = sim::milliseconds(1);
     std::size_t tx_queue_frames = 64;
     std::size_t chunk_symbols = 64;
     std::size_t max_tx_ahead_chars = 128;
@@ -45,10 +51,21 @@ class FcPort final : public link::SymbolSink {
     std::uint64_t rrdy_sent = 0;
     std::uint64_t rrdy_received = 0;
     std::uint64_t credit_stall_events = 0;
+    std::uint64_t credit_recoveries = 0;  ///< stalls broken by the timeout
     std::uint64_t rx_overflows = 0;
     std::uint64_t malformed_sets = 0;   ///< K28.5 set that parsed to nothing
     std::uint64_t stray_data = 0;       ///< data characters outside a frame
     std::uint64_t tx_queue_drops = 0;
+  };
+
+  /// Timestamped failure events for campaign monitors (mirrors
+  /// myrinet::HostInterface::RxError — each maps to one taxonomy class).
+  enum class Event : std::uint8_t {
+    kCrcError,     ///< CRC-32 mismatch; frame dropped
+    kMalformedSet, ///< K28.5-led set that parsed to nothing
+    kRxOverflow,   ///< sender overran our advertised credit
+    kCreditStall,  ///< BB credit exhausted; transmit blocked
+    kStrayData,    ///< data characters outside any frame
   };
 
   FcPort(sim::Simulator& simulator, std::string name, Config config);
@@ -64,6 +81,17 @@ class FcPort final : public link::SymbolSink {
   using FrameHandler = std::function<void(FcFrame frame, sim::SimTime when)>;
   void on_frame(FrameHandler handler) { handler_ = std::move(handler); }
 
+  using EventHandler = std::function<void(Event e, sim::SimTime when)>;
+  void on_event(EventHandler handler) { event_ = std::move(handler); }
+
+  void clear_stats() noexcept { stats_ = Stats{}; }
+
+  /// Campaign reset to the fresh-construction state: statistics, BB
+  /// credits, transmit queue, and any half-parsed receive state (the link
+  /// is assumed drained — a corrupted R_RDY earlier may have leaked peer
+  /// credits, which this restores, the "known good state" contract).
+  void reset_for_campaign();
+
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t credits() const noexcept { return credits_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
@@ -76,15 +104,21 @@ class FcPort final : public link::SymbolSink {
   void pump_tx();
   void schedule_pump_tx();
   void feed(link::Symbol s, sim::SimTime when);
-  void handle_ordered_set(OrderedSet os);
-  void complete_frame(OrderedSet eof);
+  void handle_ordered_set(OrderedSet os, sim::SimTime when);
+  void complete_frame(OrderedSet eof, sim::SimTime when);
+  void schedule_credit_recovery();
+  void cancel_credit_recovery();
   void schedule_rx_drain();
+  void emit_event(Event e, sim::SimTime when) {
+    if (event_) event_(e, when);
+  }
 
   sim::Simulator& simulator_;
   std::string name_;
   Config config_;
   link::Channel* tx_ = nullptr;
   FrameHandler handler_;
+  EventHandler event_;
 
   // Transmit.
   std::deque<std::vector<link::Symbol>> tx_queue_;
@@ -93,6 +127,7 @@ class FcPort final : public link::SymbolSink {
   std::size_t credits_;
   bool tx_pump_scheduled_ = false;
   bool stalled_reported_ = false;
+  sim::EventId credit_recovery_event_ = sim::kInvalidEventId;
 
   // Receive.
   std::vector<Char8> set_accum_;   ///< partial ordered set (K28.5-led)

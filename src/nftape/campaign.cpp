@@ -2,134 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
-#include <vector>
 
-#include "host/traffic.hpp"
-#include "nftape/faults.hpp"
-#include "sim/rng.hpp"
+#include "nftape/fabric.hpp"
 
 namespace hsfi::nftape {
 
 namespace {
 
-using analysis::Manifestation;
-
-Manifestation classify(myrinet::HostInterface::RxError e) {
-  switch (e) {
-    case myrinet::HostInterface::RxError::kCrcError:
-      return Manifestation::kCrcDropped;
-    case myrinet::HostInterface::RxError::kMarkerError:
-      return Manifestation::kMarkerError;
-    case myrinet::HostInterface::RxError::kTooShort:
-    case myrinet::HostInterface::RxError::kRingOverflow:
-      return Manifestation::kDroppedOther;
-  }
-  return Manifestation::kDroppedOther;
-}
-
-Manifestation classify(host::Host::DropReason r) {
-  switch (r) {
-    case host::Host::DropReason::kMisaddressed:
-      return Manifestation::kMisrouted;
-    // Send-side resolution failures mean the routing/address state itself
-    // is damaged — the paper's "removed from the network".
-    case host::Host::DropReason::kUnknownPeer:
-    case host::Host::DropReason::kUnroutable:
-      return Manifestation::kMappingDisruption;
-    case host::Host::DropReason::kBadChecksum:
-    case host::Host::DropReason::kBadLength:
-    case host::Host::DropReason::kMalformed:
-    case host::Host::DropReason::kUnknownType:
-    case host::Host::DropReason::kUnboundPort:
-      return Manifestation::kDroppedOther;
-  }
-  return Manifestation::kDroppedOther;
-}
-
-Manifestation classify(myrinet::Switch::PortEvent e) {
-  switch (e) {
-    case myrinet::Switch::PortEvent::kSlackOverflow:
-      return Manifestation::kDroppedOther;
-    case myrinet::Switch::PortEvent::kLongTimeout:
-      return Manifestation::kTimeout;
-    case myrinet::Switch::PortEvent::kInvalidRoute:
-      return Manifestation::kMisrouted;
-  }
-  return Manifestation::kDroppedOther;
-}
-
-/// Detaches every monitor hook on scope exit so nothing outlives the run's
-/// analyzer (runs may also end by RunCancelled).
-struct HookGuard {
-  Testbed& bed;
-  ~HookGuard() {
-    for (std::size_t i = 0; i < bed.node_count(); ++i) {
-      bed.nic(i).on_rx_error(nullptr);
-      bed.host(i).on_drop(nullptr);
-      bed.host(i).mcp().on_confused_round(nullptr);
-    }
-    bed.network_switch().on_port_event(nullptr);
-    if (bed.config().with_injector) {
-      bed.injector().set_injection_hook(nullptr);
-    }
+/// Detaches the monitor hooks and destroys the workload on scope exit so
+/// nothing outlives the run's analyzer (runs may also end by RunCancelled).
+struct FabricGuard {
+  Fabric& fabric;
+  ~FabricGuard() {
+    fabric.detach_monitors();
+    fabric.clear_workload();
   }
 };
 
 }  // namespace
 
-struct CampaignRunner::Snapshot {
-  std::uint64_t udp_sent = 0;
-  std::uint64_t udp_delivered = 0;
-  std::uint64_t crc_errors = 0;
-  std::uint64_t marker_errors = 0;
-  std::uint64_t ring_overflows = 0;
-  std::uint64_t checksum_drops = 0;
-  std::uint64_t misaddressed = 0;
-  std::uint64_t unroutable = 0;
-  std::uint64_t unknown_type = 0;
-  std::uint64_t nic_tx_drops = 0;
-  std::uint64_t slack_overflow = 0;
-  std::uint64_t long_timeouts = 0;
-  std::uint64_t injections = 0;
-};
+CampaignRunner::CampaignRunner(Fabric& fabric) : fabric_(fabric) {}
 
-CampaignRunner::Snapshot CampaignRunner::take_snapshot() const {
-  Snapshot s;
-  for (std::size_t i = 0; i < bed_.node_count(); ++i) {
-    const auto& hs = bed_.host(i).stats();
-    s.udp_sent += hs.udp_sent;
-    s.udp_delivered += hs.udp_delivered;
-    s.checksum_drops += hs.drop_bad_checksum + hs.drop_bad_length;
-    s.misaddressed += hs.drop_misaddressed;
-    s.unroutable += hs.drop_unroutable + hs.drop_unknown_peer;
-    s.unknown_type += hs.drop_unknown_type;
-    const auto& ns = bed_.nic(i).stats();
-    s.crc_errors += ns.crc_errors;
-    s.marker_errors += ns.marker_errors;
-    s.ring_overflows += ns.ring_overflows;
-    s.nic_tx_drops += ns.tx_queue_drops;
-  }
-  auto& sw = bed_.network_switch();
-  for (std::size_t p = 0; p < sw.num_ports(); ++p) {
-    const auto ps = sw.port_stats(p);
-    s.slack_overflow += ps.slack_overflow;
-    s.long_timeouts += ps.long_timeouts;
-  }
-  if (bed_.config().with_injector) {
-    s.injections +=
-        bed_.injector().fifo_stats(core::Direction::kLeftToRight).injections;
-    s.injections +=
-        bed_.injector().fifo_stats(core::Direction::kRightToLeft).injections;
-  }
-  return s;
-}
+CampaignRunner::CampaignRunner(Testbed& bed)
+    : owned_(std::make_unique<MyrinetFabric>(bed)), fabric_(*owned_) {}
+
+CampaignRunner::~CampaignRunner() = default;
 
 void CampaignRunner::settle_checked(sim::Duration span,
                                     const RunControl* control,
                                     sim::Duration* elapsed) {
   if (control == nullptr || !control->should_cancel) {
-    bed_.settle(span);
+    fabric_.settle(span);
     *elapsed += span;
     return;
   }
@@ -141,7 +44,7 @@ void CampaignRunner::settle_checked(sim::Duration span,
       throw RunCancelled("campaign run cancelled by watchdog");
     }
     const sim::Duration step = left < chunk ? left : chunk;
-    bed_.settle(step);
+    fabric_.settle(step);
     *elapsed += step;
     left -= step;
   }
@@ -153,147 +56,55 @@ void CampaignRunner::settle_checked(sim::Duration span,
 CampaignResult CampaignRunner::run(const CampaignSpec& spec,
                                    const RunControl* control) {
   const std::uint64_t seed =
-      spec.seed != 0 ? spec.seed : bed_.config().seed;
-  const std::uint64_t events_begin = bed_.sim().executed_events();
-  bed_.reset_to_known_good(seed);
+      spec.seed != 0 ? spec.seed : fabric_.base_seed();
+  const std::uint64_t events_begin = fabric_.sim().executed_events();
+  fabric_.reset_to_known_good(seed);
   sim::Duration elapsed = 0;
 
   // Manifestation monitoring: one analyzer per run, fed by every layer's
   // timestamp hooks. The guard detaches the hooks however the run ends so
   // none outlives the analyzer.
   analysis::ManifestationAnalyzer analyzer;
-  HookGuard unhook{bed_};
-  if (bed_.config().with_injector) {
-    bed_.injector().set_injection_hook(
-        [&analyzer](core::Direction, sim::SimTime when) {
-          analyzer.record_injection(when);
-        });
-  }
-  for (std::size_t i = 0; i < bed_.node_count(); ++i) {
-    const auto src = static_cast<std::uint32_t>(i);
-    bed_.nic(i).on_rx_error([&analyzer, src](myrinet::HostInterface::RxError e,
-                                             sim::SimTime when) {
-      analyzer.record_observation(when, classify(e), src);
-    });
-    bed_.host(i).on_drop(
-        [&analyzer, src](host::Host::DropReason reason, sim::SimTime when) {
-          analyzer.record_observation(when, classify(reason), 100 + src);
-        });
-    bed_.host(i).mcp().on_confused_round([&analyzer, src](sim::SimTime when) {
-      analyzer.record_observation(when, Manifestation::kMappingDisruption,
-                                  300 + src);
-    });
-  }
-  bed_.network_switch().on_port_event(
-      [&analyzer](std::size_t port, myrinet::Switch::PortEvent e,
-                  sim::SimTime when) {
-        analyzer.record_observation(when, classify(e),
-                                    200 + static_cast<std::uint32_t>(port));
-      });
+  FabricGuard guard{fabric_};
+  fabric_.attach_monitors(analyzer);
 
   // Program the fault. The serial path is the authentic NFTAPE control
   // loop; the direct path is available for unit tests.
-  const auto program = [this, &spec](core::Direction dir,
-                                     const core::InjectorConfig& cfg) {
-    if (spec.program_via_serial) {
-      for (const auto& cmd : to_serial_commands(cfg, dir)) {
-        bed_.control().send_command(cmd);
-      }
-    } else {
-      bed_.injector().apply(dir, cfg);
-    }
-  };
   core::InjectorConfig off;  // match mode kOff
-  program(core::Direction::kLeftToRight,
-          spec.fault_to_switch.value_or(off));
-  program(core::Direction::kRightToLeft,
-          spec.fault_from_switch.value_or(off));
+  fabric_.program_fault(core::Direction::kLeftToRight,
+                        spec.fault_to_switch.value_or(off),
+                        spec.program_via_serial);
+  fabric_.program_fault(core::Direction::kRightToLeft,
+                        spec.fault_from_switch.value_or(off),
+                        spec.program_via_serial);
   // Let the serial exchange (and anything in flight) finish.
   settle_checked(sim::milliseconds(30), control, &elapsed);
 
   // Workload: every node floods its peers; every node sinks the port.
-  std::vector<std::unique_ptr<host::UdpSink>> sinks;
-  std::vector<std::unique_ptr<host::UdpFlood>> floods;
-  for (std::size_t i = 0; i < bed_.node_count(); ++i) {
-    sinks.push_back(
-        std::make_unique<host::UdpSink>(bed_.host(i), spec.workload.port));
-    // The workload's constant size/fill makes corruption detectable at the
-    // sink: a datagram that passed every check below but carries the wrong
-    // bytes was delivered corrupted (the taxonomy's worst class — nothing
-    // upstream noticed).
-    const auto src = 400 + static_cast<std::uint32_t>(i);
-    const auto expected_size = spec.workload.payload_size;
-    const auto expected_fill = spec.workload.payload_fill;
-    sinks.back()->on_receive([&analyzer, src, expected_size, expected_fill](
-                                 host::HostId, const host::UdpDatagram& dgram,
-                                 sim::SimTime when) {
-      const bool corrupted =
-          dgram.payload.size() != expected_size ||
-          std::any_of(dgram.payload.begin(), dgram.payload.end(),
-                      [expected_fill](std::uint8_t b) {
-                        return b != expected_fill;
-                      });
-      if (corrupted) {
-        analyzer.record_observation(
-            when, Manifestation::kPayloadCorruptedDelivered, src);
-      }
-    });
-  }
-  for (std::size_t i = 0; i < bed_.node_count(); ++i) {
-    for (std::size_t j = 0; j < bed_.node_count(); ++j) {
-      if (i == j) continue;
-      if (!spec.workload.all_to_all && !(i < 2 && j < 2)) continue;
-      host::UdpFlood::Config fc;
-      fc.target = static_cast<host::HostId>(j + 1);
-      fc.dst_port = spec.workload.port;
-      fc.src_port = static_cast<std::uint16_t>(3000 + i * 16 + j);
-      fc.payload_size = spec.workload.payload_size;
-      fc.fill = spec.workload.payload_fill;
-      fc.interval = spec.workload.udp_interval;
-      fc.burst_size = spec.workload.burst_size;
-      fc.jitter = spec.workload.jitter;
-      fc.seed = sim::derive_seed(seed, 100 + i * 16 + j);
-      floods.push_back(
-          std::make_unique<host::UdpFlood>(bed_.sim(), bed_.host(i), fc));
-    }
-  }
-  for (auto& f : floods) f->start();
+  fabric_.start_workload(spec.workload, seed, analyzer);
 
   settle_checked(spec.warmup, control, &elapsed);
-  const Snapshot before = take_snapshot();
-  const sim::SimTime window_begin = bed_.sim().now();
+  const FabricCounters before = fabric_.snapshot();
+  const sim::SimTime window_begin = fabric_.sim().now();
   settle_checked(spec.duration, control, &elapsed);
-  for (auto& f : floods) f->stop();
+  fabric_.stop_workload();
   settle_checked(spec.drain, control, &elapsed);
-  const Snapshot after = take_snapshot();
-  const sim::SimTime window_end = bed_.sim().now();
+  const FabricCounters after = fabric_.snapshot();
+  const sim::SimTime window_end = fabric_.sim().now();
 
-  // Disarm the injector for whoever runs next. Only the match mode is
-  // touched: re-sending a whole zeroed configuration would pass through a
-  // state with the old mode still armed and an all-match compare mask.
-  if (spec.program_via_serial) {
-    bed_.control().send_command("MODE L OFF");
-    bed_.control().send_command("MODE R OFF");
-  } else {
-    for (const auto dir :
-         {core::Direction::kLeftToRight, core::Direction::kRightToLeft}) {
-      auto cfg = bed_.injector().config(dir);
-      cfg.match_mode = core::MatchMode::kOff;
-      bed_.injector().apply(dir, cfg);
-    }
-  }
-  // Give the network time to re-map so the next campaign starts from a
-  // known good state even if this fault damaged the routing tables.
+  // Disarm the injector for whoever runs next, then give the network time
+  // to recover so the next campaign starts from a known good state even if
+  // this fault damaged routing or flow-control state.
+  fabric_.disarm_faults(spec.program_via_serial);
   settle_checked(sim::milliseconds(30), control, &elapsed);
-  const sim::Duration recovery =
-      bed_.config().map_period + bed_.config().map_reply_window;
-  settle_checked(recovery, control, &elapsed);
+  settle_checked(fabric_.recovery_time(), control, &elapsed);
 
   CampaignResult r;
   r.name = spec.name;
+  r.medium = fabric_.medium();
   r.window = spec.duration + spec.drain;
-  r.messages_sent = after.udp_sent - before.udp_sent;
-  r.messages_received = after.udp_delivered - before.udp_delivered;
+  r.messages_sent = after.messages_sent - before.messages_sent;
+  r.messages_received = after.messages_received - before.messages_received;
   r.link_crc_errors = after.crc_errors - before.crc_errors;
   r.marker_errors = after.marker_errors - before.marker_errors;
   r.ring_overflows = after.ring_overflows - before.ring_overflows;
@@ -301,11 +112,14 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
   r.misaddressed_drops = after.misaddressed - before.misaddressed;
   r.unroutable_drops = after.unroutable - before.unroutable;
   r.unknown_type_drops = after.unknown_type - before.unknown_type;
-  r.nic_tx_drops = after.nic_tx_drops - before.nic_tx_drops;
+  r.nic_tx_drops = after.tx_drops - before.tx_drops;
   r.slack_overflow = after.slack_overflow - before.slack_overflow;
   r.long_timeouts = after.long_timeouts - before.long_timeouts;
   r.injections = after.injections - before.injections;
-  r.events_executed = bed_.sim().executed_events() - events_begin;
+  r.fc_credit_stalls = after.credit_stalls - before.credit_stalls;
+  r.fc_sequences_aborted =
+      after.sequences_aborted - before.sequences_aborted;
+  r.events_executed = fabric_.sim().executed_events() - events_begin;
 
   const auto outcome =
       analyzer.finalize(window_begin, window_end, r.injections);

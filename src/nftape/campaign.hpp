@@ -19,14 +19,19 @@
 #include <string>
 #include <string_view>
 
+#include <memory>
+
 #include "analysis/analyzer.hpp"
 #include "analysis/manifestation.hpp"
 #include "analysis/metrics.hpp"
 #include "core/injector_config.hpp"
+#include "nftape/medium.hpp"
 #include "nftape/testbed.hpp"
 #include "sim/time.hpp"
 
 namespace hsfi::nftape {
+
+class Fabric;
 
 struct WorkloadSpec {
   /// Per-sender datagram interval ("the network was operating at full
@@ -45,6 +50,11 @@ struct WorkloadSpec {
 
 struct CampaignSpec {
   std::string name;
+  /// Which fabric realization executes this campaign. The spec is otherwise
+  /// medium-neutral: the same faults/workload/window fields drive either
+  /// medium ("failure analysis can be performed simultaneously over both of
+  /// these networks", abstract).
+  Medium medium = Medium::kMyrinet;
   /// Fault programmed into the node->switch direction (left-to-right).
   std::optional<core::InjectorConfig> fault_to_switch;
   /// Fault programmed into the switch->node direction (right-to-left).
@@ -110,6 +120,7 @@ struct RunControl {
 
 struct CampaignResult {
   std::string name;
+  Medium medium = Medium::kMyrinet;  ///< which fabric produced this result
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
   sim::Duration window = 0;
@@ -126,6 +137,12 @@ struct CampaignResult {
   std::uint64_t slack_overflow = 0;      ///< switch symbol loss
   std::uint64_t long_timeouts = 0;
   std::uint64_t injections = 0;          ///< injector fire count
+  /// Medium-specific counters (zero on Myrinet): BB-credit exhaustion
+  /// stalls and FC-2 sequence aborts/rejections over the window — the two
+  /// failure modes credit-based flow control and sequence reassembly add
+  /// on top of the shared taxonomy.
+  std::uint64_t fc_credit_stalls = 0;
+  std::uint64_t fc_sequences_aborted = 0;
   /// Kernel events executed over the whole run (reset through recovery).
   /// Deterministic in simulated time; the bench harness divides it by wall
   /// time for events/sec.
@@ -163,7 +180,21 @@ struct CampaignResult {
 
 class CampaignRunner {
  public:
-  explicit CampaignRunner(Testbed& bed) : bed_(bed) {}
+  /// Runs campaigns on any fabric realization (Myrinet or FC). The runner
+  /// itself is medium-blind: reset, fault programming, workload window,
+  /// snapshot deltas, and manifestation analysis all go through the Fabric
+  /// interface.
+  explicit CampaignRunner(Fabric& fabric);
+
+  /// Convenience for the historical call sites: wraps `bed` in a
+  /// MyrinetFabric view (no behavioral difference from the pre-Fabric
+  /// runner — the event stream is identical).
+  explicit CampaignRunner(Testbed& bed);
+
+  ~CampaignRunner();
+
+  CampaignRunner(const CampaignRunner&) = delete;
+  CampaignRunner& operator=(const CampaignRunner&) = delete;
 
   /// Resets to the known good state, programs the fault, applies the
   /// workload for the measurement window, and collects the result.
@@ -182,12 +213,11 @@ class CampaignRunner {
   void clear_metrics() { metrics_.clear(); }
 
  private:
-  struct Snapshot;
-  Snapshot take_snapshot() const;
   void settle_checked(sim::Duration span, const RunControl* control,
                       sim::Duration* elapsed);
 
-  Testbed& bed_;
+  std::unique_ptr<Fabric> owned_;  ///< set by the Testbed& constructor
+  Fabric& fabric_;
   analysis::MetricsRegistry metrics_;
 };
 

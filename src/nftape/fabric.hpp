@@ -1,0 +1,161 @@
+// The medium abstraction behind the campaign stack.
+//
+// The paper's injector is dual-media by construction: the same FPGA
+// compare/corrupt pipeline sits behind a MyriPHY or an FCPHY (Fig. 4), so
+// one campaign methodology serves "both of these networks". A Fabric is
+// everything the campaign runner needs from a network under test: build
+// the topology with the injector spliced into one link, reach a known good
+// state, program/disarm the fault taps, drive a saturating workload, wire
+// the manifestation monitor hooks, and report counters. CampaignRunner,
+// the orchestrator, and the adaptive controller all speak this interface;
+// only the two implementations here and in fc_fabric.hpp know which wires
+// exist.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "core/injector_config.hpp"
+#include "host/traffic.hpp"
+#include "nftape/campaign.hpp"
+#include "nftape/medium.hpp"
+#include "nftape/testbed.hpp"
+#include "sim/simulator.hpp"
+
+namespace hsfi::nftape {
+
+/// Medium-neutral counter snapshot; CampaignRunner subtracts two of these
+/// to produce the per-window breakdown. Field meanings per medium are
+/// documented at the CampaignResult fields they feed (DESIGN §9 has the
+/// full mapping table).
+struct FabricCounters {
+  std::uint64_t messages_sent = 0;      ///< workload messages handed to the stack
+  std::uint64_t messages_received = 0;  ///< workload messages delivered intact
+  std::uint64_t crc_errors = 0;         ///< link CRC drops (CRC-8 / CRC-32)
+  std::uint64_t marker_errors = 0;      ///< framing-delimiter damage
+  std::uint64_t ring_overflows = 0;     ///< receive buffering exhausted
+  std::uint64_t checksum_drops = 0;     ///< transport checksum/length drops
+  std::uint64_t misaddressed = 0;       ///< delivered to the wrong endpoint
+  std::uint64_t unroutable = 0;         ///< no route for the destination
+  std::uint64_t unknown_type = 0;       ///< unrecognized payload type
+  std::uint64_t tx_drops = 0;           ///< transmit queue overflow
+  std::uint64_t slack_overflow = 0;     ///< switch-internal symbol loss
+  std::uint64_t long_timeouts = 0;      ///< switch long-timeout resets
+  std::uint64_t injections = 0;         ///< injector fire count, both taps
+  // Medium-specific (zero on Myrinet):
+  std::uint64_t credit_stalls = 0;      ///< BB-credit exhaustion events
+  std::uint64_t sequences_aborted = 0;  ///< FC-2 sequence aborts/rejections
+};
+
+/// One network under test with the injector spliced into one link.
+///
+/// Lifecycle, as CampaignRunner drives it (the order is part of the
+/// determinism contract — both implementations schedule events in exactly
+/// this order so JSONL stays byte-identical across worker counts):
+/// construct -> start() -> settle(startup) -> per run: reset_to_known_good,
+/// attach_monitors, program_fault x2, start_workload, snapshot window,
+/// stop_workload, disarm_faults, settle(recovery_time), detach_monitors,
+/// clear_workload.
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  [[nodiscard]] virtual Medium medium() const noexcept = 0;
+  [[nodiscard]] virtual sim::Simulator& sim() noexcept = 0;
+  /// The construction seed (CampaignSpec.seed == 0 inherits it).
+  [[nodiscard]] virtual std::uint64_t base_seed() const noexcept = 0;
+
+  /// Boots the topology (peer seeding, mapping, staggered starts).
+  virtual void start() = 0;
+  /// Runs the simulation forward by `span`.
+  virtual void settle(sim::Duration span) = 0;
+  /// Returns to the paper's "known good state": statistics cleared, flow
+  /// control and address state restored, RNG streams rewound to `seed`.
+  virtual void reset_to_known_good(std::uint64_t seed) = 0;
+
+  /// Programs `config` into the injector tap for `dir` — over the simulated
+  /// RS-232 command plane when `via_serial` (the authentic NFTAPE loop), or
+  /// by poking the model directly.
+  virtual void program_fault(core::Direction dir,
+                             const core::InjectorConfig& config,
+                             bool via_serial) = 0;
+  /// Turns both taps' match mode off, leaving the rest of the programmed
+  /// state untouched (re-sending a zeroed config would pass through a state
+  /// with the old mode armed under an all-match mask).
+  virtual void disarm_faults(bool via_serial) = 0;
+
+  /// Installs the timestamp hooks of every monitored layer, classified into
+  /// the 8-class taxonomy and fed to `analyzer`. The analyzer must outlive
+  /// the hooks: pair with detach_monitors.
+  virtual void attach_monitors(analysis::ManifestationAnalyzer& analyzer) = 0;
+  virtual void detach_monitors() = 0;
+
+  /// Creates and starts the saturating workload (UDP floods / FC sequence
+  /// floods), with per-flow RNG streams derived from `seed`. Delivered-but-
+  /// corrupted payloads are reported to `analyzer` (the taxonomy's worst
+  /// class — nothing upstream noticed).
+  virtual void start_workload(const WorkloadSpec& workload, std::uint64_t seed,
+                              analysis::ManifestationAnalyzer& analyzer) = 0;
+  virtual void stop_workload() = 0;
+  /// Destroys the workload objects (their counters feed snapshot(), so the
+  /// runner clears only after the final snapshot).
+  virtual void clear_workload() = 0;
+
+  [[nodiscard]] virtual FabricCounters snapshot() const = 0;
+  /// How long after disarming the medium needs to re-reach the known good
+  /// state (Myrinet: one mapping round; FC: in-flight drain).
+  [[nodiscard]] virtual sim::Duration recovery_time() const = 0;
+};
+
+/// The Fig. 10 Myrinet testbed behind the Fabric interface. The campaign
+/// logic that used to live in CampaignRunner (hook wiring, outcome
+/// classification, UDP flood/sink workload, counter snapshots) moved here
+/// verbatim, so the scheduled event stream — and therefore every digest
+/// and JSONL byte — is unchanged.
+class MyrinetFabric final : public Fabric {
+ public:
+  /// Owns a private Testbed built from `config` (the orchestrator path).
+  explicit MyrinetFabric(TestbedConfig config);
+  /// Wraps an existing Testbed (the historical direct-construction path).
+  explicit MyrinetFabric(Testbed& bed);
+  ~MyrinetFabric() override;
+
+  [[nodiscard]] Testbed& bed() noexcept { return bed_; }
+
+  [[nodiscard]] Medium medium() const noexcept override {
+    return Medium::kMyrinet;
+  }
+  [[nodiscard]] sim::Simulator& sim() noexcept override { return bed_.sim(); }
+  [[nodiscard]] std::uint64_t base_seed() const noexcept override;
+  void start() override { bed_.start(); }
+  void settle(sim::Duration span) override { bed_.settle(span); }
+  void reset_to_known_good(std::uint64_t seed) override {
+    bed_.reset_to_known_good(seed);
+  }
+  void program_fault(core::Direction dir, const core::InjectorConfig& config,
+                     bool via_serial) override;
+  void disarm_faults(bool via_serial) override;
+  void attach_monitors(analysis::ManifestationAnalyzer& analyzer) override;
+  void detach_monitors() override;
+  void start_workload(const WorkloadSpec& workload, std::uint64_t seed,
+                      analysis::ManifestationAnalyzer& analyzer) override;
+  void stop_workload() override;
+  void clear_workload() override;
+  [[nodiscard]] FabricCounters snapshot() const override;
+  [[nodiscard]] sim::Duration recovery_time() const override;
+
+ private:
+  std::unique_ptr<Testbed> owned_;
+  Testbed& bed_;
+  std::vector<std::unique_ptr<host::UdpSink>> sinks_;
+  std::vector<std::unique_ptr<host::UdpFlood>> floods_;
+};
+
+/// Builds the fabric realization for `medium` from one medium-neutral
+/// config — the orchestrator's per-run construction point.
+[[nodiscard]] std::unique_ptr<Fabric> make_fabric(Medium medium,
+                                                  const TestbedConfig& config);
+
+}  // namespace hsfi::nftape

@@ -161,6 +161,77 @@ core::InjectorConfig udp_payload_bit_flip() {
   return cfg;
 }
 
+core::InjectorConfig fc_fill_corruption(std::uint8_t fill,
+                                        std::uint16_t lfsr_mask) {
+  InjectorConfig cfg;
+  cfg.match_mode = MatchMode::kOn;
+  cfg.corrupt_mode = CorruptMode::kToggle;
+  const auto f = static_cast<std::uint32_t>(fill);
+  cfg.compare_data = (f << 24) | (f << 16) | (f << 8) | f;
+  cfg.compare_mask = 0xFFFFFFFF;
+  cfg.compare_ctl = 0x0;
+  cfg.compare_ctl_mask = 0xF;
+  cfg.lfsr_mask = lfsr_mask;
+  cfg.corrupt_data = 0x00000001;  // single-bit upset in the newest lane
+  cfg.crc_repatch = false;        // the point: the CRC-32 catches it
+  return cfg;
+}
+
+core::InjectorConfig fc_ordered_set_corruption(fc::OrderedSet target,
+                                               std::uint16_t lfsr_mask) {
+  InjectorConfig cfg;
+  cfg.match_mode = MatchMode::kOn;
+  cfg.corrupt_mode = CorruptMode::kToggle;
+  // Window holds the whole set, K28.5 oldest (lane 3), its K flag on the
+  // control sideband; the three D characters must be data.
+  const auto chars = fc::ordered_set_chars(target);
+  cfg.compare_data = (static_cast<std::uint32_t>(chars[0].value) << 24) |
+                     (static_cast<std::uint32_t>(chars[1].value) << 16) |
+                     (static_cast<std::uint32_t>(chars[2].value) << 8) |
+                     static_cast<std::uint32_t>(chars[3].value);
+  cfg.compare_mask = 0xFFFFFFFF;
+  cfg.compare_ctl = 0x8;
+  cfg.compare_ctl_mask = 0xF;
+  cfg.lfsr_mask = lfsr_mask;
+  cfg.corrupt_data = 0x0000FF00;  // invert the set's third character
+  cfg.crc_repatch = false;
+  return cfg;
+}
+
+core::InjectorConfig fc_comma_strike(std::uint16_t lfsr_mask) {
+  InjectorConfig cfg;
+  cfg.match_mode = MatchMode::kOn;
+  cfg.corrupt_mode = CorruptMode::kToggle;
+  cfg.compare_data = 0xBC;  // K28.5 just arrived in the newest lane
+  cfg.compare_mask = 0x000000FF;
+  cfg.compare_ctl = 0x1;
+  cfg.compare_ctl_mask = 0x1;
+  cfg.lfsr_mask = lfsr_mask;
+  cfg.corrupt_data = 0;
+  cfg.corrupt_ctl = 0x1;  // toggle the K flag off: comma becomes data 0xBC
+  cfg.crc_repatch = false;
+  return cfg;
+}
+
+core::InjectorConfig fc_domain_corruption(std::uint8_t new_domain,
+                                          std::uint16_t lfsr_mask) {
+  InjectorConfig cfg;
+  cfg.match_mode = MatchMode::kOn;
+  cfg.corrupt_mode = CorruptMode::kReplace;
+  cfg.lfsr_mask = lfsr_mask;
+  // Window: [D22.2][D22.2][R_CTL=0][D_ID domain] — the two trailing SOFi3
+  // characters anchor the frame head, so only the first frame of each
+  // sequence is rewritten.
+  cfg.compare_data = 0x56560000;
+  cfg.compare_mask = 0xFFFFFF00;
+  cfg.compare_ctl = 0x0;
+  cfg.compare_ctl_mask = 0xF;
+  cfg.corrupt_data = new_domain;
+  cfg.corrupt_mask = 0x000000FF;
+  cfg.crc_repatch = false;  // unfixable on FC: the CRC-32 catches it
+  return cfg;
+}
+
 std::vector<std::string> to_serial_commands(const core::InjectorConfig& cfg,
                                             core::Direction dir) {
   const char* d = dir == core::Direction::kLeftToRight ? "L" : "R";

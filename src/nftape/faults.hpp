@@ -13,6 +13,7 @@
 
 #include "core/device.hpp"
 #include "core/injector_config.hpp"
+#include "fc/frame.hpp"
 #include "host/frame.hpp"
 #include "myrinet/control.hpp"
 
@@ -73,6 +74,47 @@ namespace hsfi::nftape {
 /// §4.3.4 control case: a non-aliased payload corruption (single byte),
 /// CRC-8 repatched — only the UDP checksum can (and must) catch it.
 [[nodiscard]] core::InjectorConfig udp_payload_bit_flip();
+
+// ---- Fibre Channel fault specifications ----------------------------------
+//
+// The same compare/corrupt vectors, aimed at FC symbol streams (the board's
+// FCPHY path). None of them use crc_repatch: the repatch engine understands
+// Myrinet framing, and on FC the CRC-32 catching raw transmission damage is
+// usually the phenomenon under study anyway.
+
+/// LFSR-thinned single-bit flips on payload characters only: the window
+/// anchors on four consecutive fill bytes, which occur inside sequence
+/// payloads and nowhere in delimiters or headers. The CRC-32 must catch
+/// every hit (the FC twin of §4.3.3's "the incorrect CRC" campaigns).
+[[nodiscard]] core::InjectorConfig fc_fill_corruption(std::uint8_t fill,
+                                                      std::uint16_t lfsr_mask);
+
+/// Mangle a specific ordered set: the window anchors on the full four
+/// characters of `target` (K28.5 in the oldest lane, its K flag matched on
+/// the control sideband) and toggles the third character. The receiver sees
+/// a K28.5-led set that parses to nothing — a malformed-set event, which
+/// poisons any open frame. Aimed at kSofI3/kEofT it kills sequences; aimed
+/// at kRRdy it silently burns buffer-to-buffer credits until the sender
+/// stalls (the FC analogue of Table 4's STOP corruption freezing a link).
+[[nodiscard]] core::InjectorConfig fc_ordered_set_corruption(
+    fc::OrderedSet target, std::uint16_t lfsr_mask);
+
+/// Strike the comma character itself: match any K28.5 (newest lane, K flag
+/// set) and toggle its control flag off, turning the comma into plain data
+/// 0xBC. The rest of the set then arrives as stray data or frame-body
+/// pollution — delimiter damage the 8b/10b control sideband was supposed to
+/// make impossible.
+[[nodiscard]] core::InjectorConfig fc_comma_strike(std::uint16_t lfsr_mask);
+
+/// Rewrite the destination domain byte of every frame: the window anchors
+/// on the two trailing D22.2 characters of an SOFi3 plus R_CTL, putting the
+/// D_ID's top byte in the newest lane, and replaces it with `new_domain`.
+/// No CRC-32 repair is possible, so the fabric's ingress port drops the
+/// frame as a CRC error — the FC twin of destination_eth_corruption, where
+/// the checksum is the defense being measured. `lfsr_mask` thins the
+/// firings (0 = rewrite every sequence's first frame).
+[[nodiscard]] core::InjectorConfig fc_domain_corruption(
+    std::uint8_t new_domain, std::uint16_t lfsr_mask = 0);
 
 /// Serial command lines that program `config` into direction `dir` —
 /// campaigns drive the device exactly like NFTAPE drove the real one.

@@ -1,0 +1,98 @@
+// The Fibre Channel realization of the campaign testbed.
+//
+// Same shape as the Fig. 10 Myrinet bed — N nodes, a central fabric
+// element, the injector spliced into one node's link, the RS-232 command
+// plane — but the endpoints are FC N_Ports with BB-credit flow control and
+// the workload is SCSI-like: fixed-fill payloads split into multi-frame
+// FC-2 sequences, reassembled and integrity-checked at the receiver. The
+// board's FCPHY made exactly this swap possible in hardware ("a Myrinet
+// SAN link or a Fibre Channel link", paper §3); here the same
+// CampaignRunner/orchestrator/adaptive stack drives either medium.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/command_plane.hpp"
+#include "core/device.hpp"
+#include "core/uart.hpp"
+#include "fc/fabric.hpp"
+#include "fc/port.hpp"
+#include "fc/sequence.hpp"
+#include "link/channel.hpp"
+#include "nftape/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace hsfi::nftape {
+
+class FcFabric final : public Fabric {
+ public:
+  explicit FcFabric(TestbedConfig config);
+  ~FcFabric() override;
+
+  FcFabric(const FcFabric&) = delete;
+  FcFabric& operator=(const FcFabric&) = delete;
+
+  /// Deterministic addressing: node i is fabric domain i+1 with N_Port
+  /// identifier (i+1)<<16 | 1 (domain byte routes, the low bits name the
+  /// port within it).
+  [[nodiscard]] static std::uint32_t port_id_of(std::size_t node) noexcept {
+    return (static_cast<std::uint32_t>(node + 1) << 16) | 1u;
+  }
+
+  [[nodiscard]] fc::FcPort& node_port(std::size_t i);
+  [[nodiscard]] fc::FcFabric& fabric_element() noexcept { return *element_; }
+  /// The spliced injector (with_injector must be set).
+  [[nodiscard]] core::InjectorDevice& injector() { return *injector_; }
+  /// The external system's serial handle to the injector.
+  [[nodiscard]] core::SerialControlHost& control() { return *control_; }
+  [[nodiscard]] const TestbedConfig& config() const noexcept { return config_; }
+
+  // Fabric interface.
+  [[nodiscard]] Medium medium() const noexcept override { return Medium::kFc; }
+  [[nodiscard]] sim::Simulator& sim() noexcept override { return sim_; }
+  [[nodiscard]] std::uint64_t base_seed() const noexcept override {
+    return config_.seed;
+  }
+  void start() override;
+  void settle(sim::Duration span) override;
+  void reset_to_known_good(std::uint64_t seed) override;
+  void program_fault(core::Direction dir, const core::InjectorConfig& config,
+                     bool via_serial) override;
+  void disarm_faults(bool via_serial) override;
+  void attach_monitors(analysis::ManifestationAnalyzer& analyzer) override;
+  void detach_monitors() override;
+  void start_workload(const WorkloadSpec& workload, std::uint64_t seed,
+                      analysis::ManifestationAnalyzer& analyzer) override;
+  void stop_workload() override;
+  void clear_workload() override;
+  [[nodiscard]] FabricCounters snapshot() const override;
+  [[nodiscard]] sim::Duration recovery_time() const override;
+
+ private:
+  class SequenceFlood;
+  struct Node {
+    /// Cable from the node toward the fabric (or toward the injector).
+    std::unique_ptr<link::DuplexLink> cable;
+    /// Second segment (injector to fabric) for the injected node.
+    std::unique_ptr<link::DuplexLink> cable2;
+    std::unique_ptr<fc::FcPort> port;
+    /// Per-run receive side (built by start_workload).
+    std::unique_ptr<fc::SequenceReassembler> reassembler;
+    std::uint64_t delivered = 0;  ///< intact sequences this workload
+  };
+
+  TestbedConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<fc::FcFabric> element_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<core::InjectorDevice> injector_;
+  std::unique_ptr<core::Uart> uart_;
+  std::unique_ptr<core::CommHandler> comm_;
+  std::unique_ptr<core::SerialControlHost> control_;
+  std::vector<std::unique_ptr<SequenceFlood>> floods_;
+  analysis::ManifestationAnalyzer* analyzer_ = nullptr;
+};
+
+}  // namespace hsfi::nftape

@@ -1,0 +1,35 @@
+// Which physical network a campaign runs over.
+//
+// "the ability to inject faults on two types of high-speed network
+// links... a Myrinet SAN link or a Fibre Channel link" (paper §3) — the
+// same compare/corrupt pipeline sits behind either PHY, so the campaign
+// stack treats the medium as data, not as a compile-time choice.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace hsfi::nftape {
+
+enum class Medium : std::uint8_t {
+  kMyrinet,  ///< Fig. 10 testbed: hosts + 8-port Myrinet switch
+  kFc,       ///< N_Ports + fabric element behind the FCPHY
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Medium m) noexcept {
+  switch (m) {
+    case Medium::kMyrinet: return "myrinet";
+    case Medium::kFc: return "fc";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::optional<Medium> parse_medium(
+    std::string_view s) noexcept {
+  if (s == "myrinet") return Medium::kMyrinet;
+  if (s == "fc") return Medium::kFc;
+  return std::nullopt;
+}
+
+}  // namespace hsfi::nftape

@@ -24,6 +24,25 @@
 
 namespace hsfi::nftape {
 
+/// Fibre Channel link tuning, consumed by `nftape::FcFabric` when the same
+/// TestbedConfig is realized over FC instead of Myrinet (the medium-neutral
+/// fields — nodes, injected_node, with_injector, cable_delay, map_period,
+/// map_reply_window, injector_config, seed — keep their meaning there).
+struct FcTuning {
+  /// 1.0625 Gb/s: one 10-bit character every ~9.4 ns.
+  sim::Duration character_period = sim::picoseconds(9'412);
+  std::size_t bb_credit = 8;   ///< credits each end holds toward its peer
+  std::size_t rx_buffers = 8;  ///< receive buffers each end advertises
+  sim::Duration rx_processing_time = sim::microseconds(2);
+  /// See fc::FcPort::Config::credit_recovery_timeout — without it a single
+  /// corrupted R_RDY wedges the spliced link for the rest of the campaign.
+  sim::Duration credit_recovery_timeout = sim::milliseconds(1);
+  /// Payload bytes per sequence frame; kept smaller than the workload
+  /// payload so every message travels as a multi-frame FC-2 sequence (the
+  /// failure surface a lost middle frame exposes).
+  std::size_t frame_chunk = 128;
+};
+
 struct TestbedConfig {
   std::size_t nodes = 3;
   /// Which node's link carries the injector (Fig. 10 splices one link).
@@ -46,6 +65,8 @@ struct TestbedConfig {
   sim::Duration map_period = sim::milliseconds(1000);
   sim::Duration map_reply_window = sim::milliseconds(10);
   host::HostClock::Params host_clock = {};
+  /// FC realization of this config (ignored by the Myrinet `Testbed`).
+  FcTuning fc = {};
   std::uint64_t seed = 1;
 };
 

@@ -7,6 +7,7 @@
 
 #include "analysis/accumulator.hpp"
 #include "analysis/manifestation.hpp"
+#include "nftape/fabric.hpp"
 #include "nftape/testbed.hpp"
 #include "orchestrator/jsonl.hpp"
 #include "sim/time.hpp"
@@ -21,12 +22,13 @@ double ms_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// The production executor: a private Testbed per run (thread isolation),
-/// startup settle under the watchdog, then the campaign itself.
+/// The production executor: a private Fabric per run (thread isolation),
+/// realized for the campaign's medium, startup settle under the watchdog,
+/// then the campaign itself.
 nftape::CampaignResult default_execute(const RunSpec& run,
                                        const nftape::RunControl& control) {
-  nftape::Testbed bed(run.testbed);
-  bed.start();
+  const auto fabric = nftape::make_fabric(run.campaign.medium, run.testbed);
+  fabric->start();
   sim::Duration elapsed = 0;
   const sim::Duration chunk =
       control.poll_interval > 0 ? control.poll_interval : run.startup_settle;
@@ -36,11 +38,11 @@ nftape::CampaignResult default_execute(const RunSpec& run,
       throw nftape::RunCancelled("cancelled during testbed startup");
     }
     const sim::Duration step = left < chunk ? left : chunk;
-    bed.settle(step);
+    fabric->settle(step);
     elapsed += step;
     left -= step;
   }
-  nftape::CampaignRunner runner(bed);
+  nftape::CampaignRunner runner(*fabric);
   return runner.run(run.campaign, &control);
 }
 
@@ -60,6 +62,11 @@ std::string to_jsonl(const RunRecord& r, bool include_timing) {
   o.add_u64("run", r.index);
   o.add("name", r.name);
   o.add_u64("seed", r.seed);
+  // Medium only when it isn't the default, so Myrinet sweeps keep the exact
+  // pre-Fabric record format (same rule as round/strategy below).
+  if (r.medium != nftape::Medium::kMyrinet) {
+    o.add("medium", std::string(nftape::to_string(r.medium)));
+  }
   // Closed-loop provenance only when a strategy tagged the run, so static
   // sweeps keep the exact pre-adaptive record format.
   if (!r.strategy.empty()) {
@@ -93,6 +100,10 @@ std::string to_jsonl(const RunRecord& r, bool include_timing) {
       o.add_u64(analysis::jsonl_key(m), c.manifestations[m]);
     }
     o.add_u64("secondary_effects", c.secondary_effects);
+    if (r.medium == nftape::Medium::kFc) {
+      o.add_u64("fc_credit_stalls", c.fc_credit_stalls);
+      o.add_u64("fc_seq_aborts", c.fc_sequences_aborted);
+    }
   }
   if (include_timing) o.add_fixed("wall_ms", r.wall_ms, 3);
   return o.str();
@@ -173,6 +184,7 @@ void Runner::execute_one(const RunSpec& run, RunRecord& rec) {
   rec.index = run.index;
   rec.name = run.campaign.name;
   rec.seed = run.seed;
+  rec.medium = run.campaign.medium;
   rec.round = run.round;
   rec.strategy = run.strategy;
 

@@ -41,6 +41,9 @@ struct RunRecord {
   std::size_t index = 0;
   std::string name;
   std::uint64_t seed = 0;
+  /// Which fabric realization ran this campaign (recorded even for failed
+  /// runs, where `result` is not valid).
+  nftape::Medium medium = nftape::Medium::kMyrinet;
   std::uint32_t round = 0;  ///< adaptive round (meaningful when strategy set)
   std::string strategy;     ///< adaptive strategy tag; empty for static sweeps
   RunOutcome outcome = RunOutcome::kError;

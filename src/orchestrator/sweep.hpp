@@ -53,8 +53,11 @@ struct IntensityPoint {
 struct SweepSpec {
   std::string name = "sweep";
   /// Template for every run: measurement window, workload defaults,
-  /// serial-vs-direct programming. Fault, intensity, name, and seed fields
-  /// are overwritten per grid point.
+  /// serial-vs-direct programming, and the medium — `base.medium` selects
+  /// which Fabric realization every expanded run executes on (the grid
+  /// itself is medium-agnostic; only the fault axis needs to target the
+  /// chosen medium's symbol stream). Fault, intensity, name, and seed
+  /// fields are overwritten per grid point.
   nftape::CampaignSpec base;
   /// Template for every run's private testbed; seed overwritten per run.
   nftape::TestbedConfig testbed;
