@@ -9,12 +9,15 @@
 // those don't: simulation events per wall second, the number every campaign
 // in the paper's tables is bounded by. Each scenario is deterministic — the
 // harness fails the run if an event count differs between repetitions.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "harness.hpp"
 #include "host/traffic.hpp"
+#include "monitor/service.hpp"
 #include "myrinet/control.hpp"
 #include "nftape/campaign.hpp"
 #include "nftape/fabric.hpp"
@@ -158,6 +161,90 @@ std::uint64_t scenario_manifestations(bool smoke) {
   return bed.sim().executed_events() - begin;
 }
 
+/// Live-monitor overhead A/B: the same pass-through-style sweep through the
+/// worker pool twice — bare, and with a MonitorService attached as a record
+/// sink — interleaved, best-of-N wall time per arm. The sink costs one map
+/// lookup plus a few dozen counter folds per *completed run* (never per
+/// event), so the monitored arm must stay within 5% of the bare arm's
+/// events/s. A violation (or an event-count mismatch between arms, which
+/// would mean the sink perturbed the simulation) reports 0 events, the same
+/// convention seu_sweep uses for a failed run.
+std::uint64_t scenario_monitor_overhead(bool smoke) {
+  orchestrator::SweepSpec sweep;
+  sweep.name = "monitor-overhead";
+  sweep.testbed = standard_testbed();
+  sweep.base.warmup = sim::milliseconds(10);
+  sweep.base.duration = sim::milliseconds(smoke ? 15 : 40);
+  sweep.base.drain = sim::milliseconds(10);
+  sweep.base.workload.udp_interval = sim::microseconds(20);
+  sweep.base.workload.payload_size = 128;
+  sweep.directions = {orchestrator::FaultDirection::kBoth};
+  sweep.replicates = smoke ? 1 : 3;
+  sweep.faults.push_back(
+      {nftape::cell("seu-%04X", 0x00FF), nftape::random_bit_flip_seu(0x00FF)});
+  const auto runs = orchestrator::expand(sweep);
+
+  // One pass of the sweep; the monitored arm folds every record into the
+  // service. Event totals are per-run deterministic, so both arms must
+  // agree exactly.
+  const auto pass = [&runs](monitor::MonitorService* service, double& wall_s,
+                            std::uint64_t& events) -> bool {
+    orchestrator::RunnerConfig rc;
+    rc.workers = 1;  // serial: wall time measures the hot path, not the pool
+    if (service != nullptr) rc.sinks.push_back(service);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto records = orchestrator::Runner(rc).run_all(runs);
+    const auto t1 = std::chrono::steady_clock::now();
+    wall_s = std::chrono::duration<double>(t1 - t0).count();
+    events = 0;
+    for (const auto& r : records) {
+      if (r.outcome != orchestrator::RunOutcome::kOk) {
+        std::fprintf(stderr, "monitor_overhead run %zu: %s\n", r.index,
+                     std::string(orchestrator::to_string(r.outcome)).c_str());
+        return false;
+      }
+      events += r.result.events_executed;
+    }
+    return true;
+  };
+
+  const int passes = smoke ? 1 : 3;
+  double bare_wall = 0.0;
+  double monitored_wall = 0.0;
+  std::uint64_t bare_events = 0;
+  std::uint64_t monitored_events = 0;
+  monitor::MonitorService service;
+  for (int i = 0; i < passes; ++i) {
+    double wall = 0.0;
+    std::uint64_t events = 0;
+    if (!pass(nullptr, wall, events)) return 0;
+    bare_wall = (i == 0) ? wall : std::min(bare_wall, wall);
+    bare_events = events;
+    if (!pass(&service, wall, events)) return 0;
+    monitored_wall = (i == 0) ? wall : std::min(monitored_wall, wall);
+    monitored_events = events;
+  }
+
+  if (monitored_events != bare_events) {
+    std::fprintf(stderr,
+                 "monitor_overhead: sink perturbed the run (%llu vs %llu "
+                 "events)\n",
+                 static_cast<unsigned long long>(monitored_events),
+                 static_cast<unsigned long long>(bare_events));
+    return 0;
+  }
+  // events/s ratio == inverse wall ratio (identical event totals).
+  if (monitored_wall > bare_wall * 1.05) {
+    std::fprintf(stderr,
+                 "monitor_overhead: attached sink costs %.1f%% events/s "
+                 "(budget 5%%): bare %.3fs vs monitored %.3fs\n",
+                 (monitored_wall / bare_wall - 1.0) * 100.0, bare_wall,
+                 monitored_wall);
+    return 0;
+  }
+  return bare_events + monitored_events;
+}
+
 /// FC pass-through: the same saturating flood window realized over the
 /// FcFabric — per-character ordered-set scanning, CRC-32, BB-credit
 /// bookkeeping, and sequence reassembly are the hot path here, none of
@@ -197,5 +284,7 @@ int main(int argc, char** argv) {
                   [smoke] { return scenario_manifestations(smoke); });
   harness.measure("fc_passthrough",
                   [smoke] { return scenario_fc_passthrough(smoke); });
+  harness.measure("monitor_overhead",
+                  [smoke] { return scenario_monitor_overhead(smoke); });
   return harness.finish();
 }

@@ -22,6 +22,8 @@
 #include "adaptive/controller.hpp"
 #include "adaptive/strategy.hpp"
 #include "fc/frame.hpp"
+#include "monitor/feed.hpp"
+#include "monitor/service.hpp"
 #include "myrinet/control.hpp"
 #include "nftape/faults.hpp"
 #include "nftape/medium.hpp"
@@ -100,6 +102,19 @@ void usage(std::FILE* to = stdout) {
       "  --max-rounds N   adaptive round cap (default 12)\n"
       "  --target-count N coverage: observations wanted per manifestation\n"
       "                   class per cell (default 5)\n"
+      "  --monitor        attach the live monitor: stream every completed\n"
+      "                   run into the online analysis service and print the\n"
+      "                   per-cell table (runs, Wilson 95%% manifestation CI,\n"
+      "                   class mix, drift flags) to stderr after the sweep\n"
+      "  --monitor-interval-ms N\n"
+      "                   with --monitor: also re-render the table at most\n"
+      "                   every N ms while the campaign runs (default: final\n"
+      "                   table only)\n"
+      "  --early-cancel   with --strategy: live mode — the streaming feed\n"
+      "                   cancels a cell's remaining runs in a round once\n"
+      "                   the strategy declares them redundant (records\n"
+      "                   become outcome=skipped; the JSONL stream is no\n"
+      "                   longer byte-stable across worker counts)\n"
       "  --dry-run        print the expanded grid (static) or the round-0\n"
       "                   batch (adaptive) without executing anything\n");
 }
@@ -126,6 +141,30 @@ std::string commit_id() {
   }
   return commit;
 }
+
+/// Re-renders the monitor table to stderr at most once per interval,
+/// driven by run completions (no render thread; the runner serializes
+/// sink callbacks, so the steady_clock read races with nothing).
+class IntervalRenderer final : public orchestrator::RecordSink {
+ public:
+  IntervalRenderer(monitor::MonitorService& service, long interval_ms)
+      : service_(service),
+        interval_(std::chrono::milliseconds(interval_ms)),
+        last_(std::chrono::steady_clock::now()) {}
+
+  void on_record(const orchestrator::RunRecord&) override {
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_ < interval_) return;
+    last_ = now;
+    std::fprintf(stderr, "\n%s",
+                 service_.table("live monitor").render().c_str());
+  }
+
+ private:
+  monitor::MonitorService& service_;
+  std::chrono::steady_clock::duration interval_;
+  std::chrono::steady_clock::time_point last_;
+};
 
 bool write_bench_out(const std::string& path,
                      const std::vector<orchestrator::RunRecord>& records,
@@ -180,6 +219,9 @@ int main(int argc, char** argv) {
   std::uint32_t max_rounds = 12;
   std::uint64_t target_count = 5;
   bool dry_run = false;
+  bool monitor = false;
+  long monitor_interval_ms = 0;  // 0 = final table only
+  bool early_cancel = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -253,6 +295,17 @@ int main(int argc, char** argv) {
       max_rounds = static_cast<std::uint32_t>(numeric());
     } else if (arg == "--target-count") {
       target_count = static_cast<std::uint64_t>(numeric());
+    } else if (arg == "--monitor") {
+      monitor = true;
+    } else if (arg == "--monitor-interval-ms") {
+      monitor_interval_ms = static_cast<long>(numeric());
+      if (monitor_interval_ms == 0) {
+        std::fprintf(stderr, "--monitor-interval-ms must be positive\n\n");
+        usage(stderr);
+        return 1;
+      }
+    } else if (arg == "--early-cancel") {
+      early_cancel = true;
     } else if (arg == "--dry-run") {
       dry_run = true;
     } else if (arg == "--list") {
@@ -266,6 +319,17 @@ int main(int argc, char** argv) {
       usage(stderr);
       return 1;
     }
+  }
+
+  if (monitor_interval_ms > 0 && !monitor) {
+    std::fprintf(stderr, "--monitor-interval-ms requires --monitor\n\n");
+    usage(stderr);
+    return 1;
+  }
+  if (early_cancel && strategy_name.empty()) {
+    std::fprintf(stderr, "--early-cancel requires --strategy\n\n");
+    usage(stderr);
+    return 1;
   }
 
   if (list_only) {
@@ -381,6 +445,22 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "round %u: %zu runs (%zu failed), %zu total\n",
                    s.round, s.runs, s.failed, s.total_runs);
     };
+    // Streaming plane: --monitor attaches the live service behind the
+    // feed; --early-cancel alone still needs the feed (live mode), just
+    // without the table. Deterministic mode (no --early-cancel) leaves the
+    // record stream byte-identical to an unmonitored campaign.
+    monitor::MonitorService service;
+    monitor::StreamingFeed feed(monitor ? &service : nullptr);
+    std::unique_ptr<IntervalRenderer> renderer;
+    if (monitor || early_cancel) {
+      cc.feed = &feed;
+      cc.early_cancel = early_cancel;
+    }
+    if (monitor && monitor_interval_ms > 0) {
+      renderer =
+          std::make_unique<IntervalRenderer>(service, monitor_interval_ms);
+      cc.runner.sinks.push_back(renderer.get());
+    }
     adaptive::Controller live(aspec, std::move(cc));
 
     const auto start = std::chrono::steady_clock::now();
@@ -437,9 +517,16 @@ int main(int argc, char** argv) {
       }
     }
     std::fprintf(stderr, "\n%s", cells.render().c_str());
+    if (monitor) {
+      std::fprintf(stderr, "\n%s",
+                   service.table("monitor (final)").render().c_str());
+    }
 
     for (const auto& r : outcome.records) {
-      if (r.outcome != orchestrator::RunOutcome::kOk) return 2;
+      if (r.outcome != orchestrator::RunOutcome::kOk &&
+          r.outcome != orchestrator::RunOutcome::kSkipped) {
+        return 2;
+      }
     }
     return 0;
   }
@@ -465,6 +552,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "\r%zu/%zu done, %zu failed, %zu in flight   ",
                  p.completed + p.failed, p.total, p.failed, p.in_flight);
   };
+  monitor::MonitorService service;
+  std::unique_ptr<IntervalRenderer> renderer;
+  if (monitor) {
+    rc.sinks.push_back(&service);
+    if (monitor_interval_ms > 0) {
+      renderer =
+          std::make_unique<IntervalRenderer>(service, monitor_interval_ms);
+      rc.sinks.push_back(renderer.get());
+    }
+  }
   orchestrator::Runner runner(rc);
 
   std::fprintf(stderr, "%zu runs (%zu faults x %zu directions x %zu reps)\n",
@@ -508,6 +605,10 @@ int main(int argc, char** argv) {
                                           records)
                    .render()
                    .c_str());
+  if (monitor) {
+    std::fprintf(stderr, "\n%s",
+                 service.table("monitor (final)").render().c_str());
+  }
 
   for (const auto& r : records) {
     if (r.outcome != orchestrator::RunOutcome::kOk) return 2;

@@ -21,7 +21,8 @@ BisectionStrategy::BisectionStrategy(std::vector<Cell> cells,
     : config_(std::move(config)),
       cell_list_(std::move(cells)),
       cells_(cell_list_.size()),
-      thresholds_(cell_list_.size()) {
+      thresholds_(cell_list_.size()),
+      streaming_manifested_(cell_list_.size(), 0) {
   if (config_.replicates == 0) config_.replicates = 1;
   if (config_.min_manifested == 0) config_.min_manifested = 1;
   const double span = config_.hi - config_.lo;
@@ -59,6 +60,7 @@ void BisectionStrategy::finish(std::size_t i) {
 
 std::vector<RunRequest> BisectionStrategy::next_round(std::uint32_t round) {
   pending_.clear();
+  streaming_manifested_.assign(cell_list_.size(), 0);
   std::vector<RunRequest> requests;
   for (std::size_t i = 0; i < cells_.size(); ++i) {
     CellState& s = cells_[i];
@@ -151,6 +153,23 @@ void BisectionStrategy::observe(const std::vector<Observation>& results) {
       finish(i);
     }
   }
+}
+
+bool BisectionStrategy::observe_streaming(const Observation& obs) {
+  // Round 0 probes both endpoints of every cell; a manifested high
+  // endpoint must not cancel the low endpoint's replicates, and the
+  // skip granularity is the cell, so round 0 never cancels.
+  if (obs.round == 0) return false;
+  for (std::size_t i = 0; i < cell_list_.size(); ++i) {
+    if (!(cell_list_[i] == obs.request.cell)) continue;
+    if (obs.ok) streaming_manifested_[i] += obs.manifested();
+    // In a midpoint round every request for the cell probes the same t, so
+    // once the summed manifested firings reach min_manifested the probe's
+    // verdict is fixed — observe() classifies it manifested regardless of
+    // what the remaining (possibly skipped, not-ok) replicates return.
+    return streaming_manifested_[i] >= config_.min_manifested;
+  }
+  return false;
 }
 
 std::size_t BisectionStrategy::grid_equivalent_runs_per_cell()

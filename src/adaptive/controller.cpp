@@ -1,12 +1,70 @@
 #include "adaptive/controller.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <utility>
+
+#include "monitor/feed.hpp"
 
 namespace hsfi::adaptive {
 
 namespace {
+
+/// Shared state the streaming callbacks read for the round in flight.
+/// Mutated only at batch barriers (no workers running), read by workers
+/// mid-batch under the runner's record mutex (bridge) or lock-free with
+/// relaxed atomics (skip flags).
+struct RoundStream {
+  const std::vector<RunRequest>* requests = nullptr;
+  std::size_t first_index = 0;
+};
+
+/// The RecordSink the controller installs when a feed is attached:
+/// publishes each completed record mid-batch and relays the strategy's
+/// streaming verdict into the per-cell skip flags (live mode only).
+class StreamBridge final : public orchestrator::RecordSink {
+ public:
+  StreamBridge(monitor::StreamingFeed& feed, Strategy& strategy,
+               const RoundStream& stream, std::vector<std::atomic<bool>>& skip,
+               std::size_t directions, bool early_cancel)
+      : feed_(feed),
+        strategy_(strategy),
+        stream_(stream),
+        skip_(skip),
+        directions_(directions),
+        early_cancel_(early_cancel) {}
+
+  void on_record(const orchestrator::RunRecord& rec) override {
+    feed_.publish(rec);
+    if (stream_.requests == nullptr) return;
+    const std::size_t i = rec.index - stream_.first_index;
+    if (i >= stream_.requests->size()) return;
+    const RunRequest& req = (*stream_.requests)[i];
+
+    Observation obs;
+    obs.request = req;
+    obs.round = rec.round;
+    obs.ok = rec.outcome == orchestrator::RunOutcome::kOk;
+    obs.injections = rec.result.injections;
+    obs.duplicates = rec.result.duplicates();
+    obs.manifestations = rec.result.manifestations;
+    const bool redundant = strategy_.observe_streaming(obs);
+    if (early_cancel_ && redundant) {
+      skip_[req.cell.fault * directions_ + req.cell.direction].store(
+          true, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  monitor::StreamingFeed& feed_;
+  Strategy& strategy_;
+  const RoundStream& stream_;
+  std::vector<std::atomic<bool>>& skip_;
+  std::size_t directions_;
+  bool early_cancel_;
+};
 
 /// Deterministic short rendering of a knob value for run names ("112.5",
 /// "8"). %.6g keeps sub-integer probes distinguishable without trailing
@@ -110,7 +168,33 @@ std::vector<orchestrator::RunSpec> Controller::expand_round(
 
 CampaignOutcome Controller::run(Strategy& strategy) {
   CampaignOutcome outcome;
-  orchestrator::Runner runner(config_.runner);
+
+  // Streaming plane: state shared with the runner callbacks for the round
+  // in flight. Skip flags are per cell (fault-major, like cells()).
+  RoundStream stream;
+  std::vector<std::atomic<bool>> skip(spec_.faults.size() *
+                                      spec_.directions.size());
+  orchestrator::RunnerConfig runner_config = config_.runner;
+  std::unique_ptr<StreamBridge> bridge;
+  if (config_.feed != nullptr) {
+    bridge = std::make_unique<StreamBridge>(*config_.feed, strategy, stream,
+                                            skip, spec_.directions.size(),
+                                            config_.early_cancel);
+    runner_config.sinks.push_back(bridge.get());
+    if (config_.early_cancel) {
+      const std::size_t directions = spec_.directions.size();
+      runner_config.should_skip =
+          [&stream, &skip, directions](const orchestrator::RunSpec& spec) {
+            if (stream.requests == nullptr) return false;
+            const std::size_t i = spec.index - stream.first_index;
+            if (i >= stream.requests->size()) return false;
+            const Cell& cell = (*stream.requests)[i].cell;
+            return skip[cell.fault * directions + cell.direction].load(
+                std::memory_order_relaxed);
+          };
+    }
+  }
+  orchestrator::Runner runner(runner_config);
 
   for (std::uint32_t round = 0; round < spec_.max_rounds; ++round) {
     const std::vector<RunRequest> requests = strategy.next_round(round);
@@ -124,10 +208,16 @@ CampaignOutcome Controller::run(Strategy& strategy) {
     }
     const auto runs = expand_round(requests, round, outcome.records.size(),
                                    strategy.name());
+    // Arm the streaming callbacks for this round (no workers are running
+    // between barriers, so plain writes are safe).
+    stream.requests = &requests;
+    stream.first_index = outcome.records.size();
+    for (auto& flag : skip) flag.store(false, std::memory_order_relaxed);
     // Batch barrier: run_batch returns only when the whole round finished.
     // Records come back positional (= request order), so emission below is
     // deterministic no matter how workers interleaved.
     auto records = runner.run_batch(runs);
+    stream.requests = nullptr;  // `requests` dies with this iteration
 
     std::vector<Observation> observations;
     observations.reserve(records.size());

@@ -37,6 +37,10 @@
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
+namespace hsfi::monitor {
+class StreamingFeed;
+}  // namespace hsfi::monitor
+
 namespace hsfi::adaptive {
 
 /// Stable seed key for one adaptive run. Chained splitmix64 avalanches so
@@ -105,6 +109,21 @@ struct ControllerConfig {
   /// request order — the deterministic streaming JSONL hook.
   std::function<void(const orchestrator::RunRecord&)> on_record;
   std::function<void(const RoundSummary&)> on_round;
+
+  /// Optional streaming analysis plane (not owned; must outlive run()).
+  /// Every finished run of a round is published to the feed the moment it
+  /// completes — in completion order, mid-batch — and the strategy's
+  /// observe_streaming() is consulted on the same record. With
+  /// early_cancel off this observes without steering: the batch path is
+  /// untouched and the emitted JSONL stays byte-identical to an unfed
+  /// campaign (deterministic mode).
+  monitor::StreamingFeed* feed = nullptr;
+  /// Live mode: a true observe_streaming() verdict cancels the rest of
+  /// the cell's round — still-queued runs come back RunOutcome::kSkipped.
+  /// Which replicates get skipped depends on completion order, so records
+  /// (and downstream strategy state fed by fewer ok runs) are no longer
+  /// byte-stable across worker counts. Requires `feed`.
+  bool early_cancel = false;
 };
 
 /// Everything a finished adaptive campaign produced.

@@ -22,7 +22,8 @@ CoverageStrategy::CoverageStrategy(std::vector<Cell> cells,
                                    CoverageConfig config)
     : config_(std::move(config)),
       cell_list_(std::move(cells)),
-      cells_(cell_list_.size()) {
+      cells_(cell_list_.size()),
+      streaming_(cell_list_.size()) {
   if (config_.batch_replicates == 0) config_.batch_replicates = 1;
   if (config_.target_count == 0) config_.target_count = 1;
 }
@@ -63,6 +64,7 @@ std::uint64_t CoverageStrategy::class_count(std::size_t cell_index,
 }
 
 std::vector<RunRequest> CoverageStrategy::next_round(std::uint32_t) {
+  streaming_.assign(cell_list_.size(), CellState{});
   std::vector<RunRequest> requests;
   for (std::size_t i = 0; i < cell_list_.size(); ++i) {
     if (!cell_open(i)) continue;
@@ -71,6 +73,33 @@ std::vector<RunRequest> CoverageStrategy::next_round(std::uint32_t) {
     }
   }
   return requests;
+}
+
+bool CoverageStrategy::observe_streaming(const Observation& obs) {
+  const std::size_t i = index_of(obs.request.cell);
+  if (i >= cells_.size()) return false;
+  if (obs.ok) {
+    streaming_[i].injections += obs.injections;
+    streaming_[i].counts += obs.manifestations;
+  }
+  // The cell's remaining replicates are redundant once no class stays open
+  // at the committed + streaming counts. This can only under-report
+  // relative to the barrier (skipped runs are not-ok and contribute
+  // nothing), so a true verdict here implies the cell closes at observe()
+  // too — coverage monotonically accumulates.
+  const std::uint64_t injections =
+      cells_[i].injections + streaming_[i].injections;
+  for (const auto m : analysis::all_manifestations()) {
+    if (m == Manifestation::kMasked) continue;
+    const std::uint64_t count = cells_[i].counts[m] + streaming_[i].counts[m];
+    if (count >= config_.target_count) continue;  // satisfied
+    if (injections >= config_.min_injections &&
+        wilson_upper(count, injections) < config_.hopeless_rate) {
+      continue;  // hopeless
+    }
+    return false;  // still open: keep the round's replicates coming
+  }
+  return true;
 }
 
 void CoverageStrategy::observe(const std::vector<Observation>& results) {

@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 namespace hsfi::adaptive {
@@ -29,13 +30,21 @@ struct WilsonInterval {
 /// Wilson score interval for `successes` out of `trials` at normal quantile
 /// `z` (1.96 = 95%). Unlike the Wald interval it never collapses to a zero
 /// width at the 0/n and n/n boundaries — exactly the cells the adaptive
-/// loop cares about (rare classes observed 0 times so far). trials == 0
-/// returns the vacuous [0, 1].
+/// loop cares about (rare classes observed 0 times so far).
+///
+/// Edge cases: trials == 0 returns the documented full-width [0, 1] with
+/// rate 0 — a no-data cell is maximally uncertain, never NaN — and
+/// successes > trials throws std::invalid_argument (p > 1 would push the
+/// score term's discriminant negative and the whole interval to NaN, which
+/// then poisons every stopping rule that compares against it).
 [[nodiscard]] inline WilsonInterval wilson_interval(std::uint64_t successes,
                                                     std::uint64_t trials,
                                                     double z = 1.96) {
+  if (successes > trials) {
+    throw std::invalid_argument("wilson_interval: successes > trials");
+  }
   WilsonInterval w;
-  if (trials == 0) return w;
+  if (trials == 0) return w;  // full-width [0, 1], rate 0
   const double n = static_cast<double>(trials);
   const double p = static_cast<double>(successes) / n;
   w.rate = p;

@@ -75,6 +75,25 @@ class Strategy {
   /// Feedback for the finished round, in request order. Called exactly
   /// once per non-empty next_round(), after the batch barrier.
   virtual void observe(const std::vector<Observation>& results) = 0;
+
+  /// Mid-batch streaming feedback: one finished run of the current round,
+  /// delivered in *completion* order while the round is still executing
+  /// (via monitor::StreamingFeed — see ControllerConfig::feed). Returns
+  /// true when the remaining runs of the observation's cell this round
+  /// have become redundant; with ControllerConfig::early_cancel the
+  /// controller then skips them at dequeue.
+  ///
+  /// Determinism contract: implementations keep their streaming scratch
+  /// separate from the observe() history — next_round() resets it and the
+  /// barrier-path state never reads it — so with early_cancel off a
+  /// streaming-fed campaign is byte-identical to the batch-barrier path,
+  /// and a true verdict must never change the decision observe() would
+  /// reach at the barrier (cancel only what is already resolved).
+  /// Default: no opinion.
+  [[nodiscard]] virtual bool observe_streaming(const Observation& obs) {
+    (void)obs;
+    return false;
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -163,6 +182,11 @@ class BisectionStrategy final : public Strategy {
   [[nodiscard]] std::vector<RunRequest> next_round(
       std::uint32_t round) override;
   void observe(const std::vector<Observation>& results) override;
+  /// True once the cell's streaming manifested sum reaches min_manifested
+  /// in a midpoint round — the probe verdict is already decided, so the
+  /// remaining replicates are redundant. Round 0 never cancels: its two
+  /// endpoint probes share the cell and the low endpoint still needs data.
+  [[nodiscard]] bool observe_streaming(const Observation& obs) override;
 
   [[nodiscard]] const std::vector<CellThreshold>& thresholds() const noexcept {
     return thresholds_;
@@ -195,6 +219,9 @@ class BisectionStrategy final : public Strategy {
   std::vector<CellThreshold> thresholds_;
   /// (cell index, t) of the probes issued this round, in request order.
   std::vector<std::pair<std::size_t, double>> pending_;
+  /// Streaming scratch: per-cell manifested sum of the in-flight round.
+  /// Reset by next_round(), never read by the barrier path.
+  std::vector<std::uint64_t> streaming_manifested_;
 };
 
 // ---------------------------------------------------------------------------
@@ -238,6 +265,11 @@ class CoverageStrategy final : public Strategy {
   [[nodiscard]] std::vector<RunRequest> next_round(
       std::uint32_t round) override;
   void observe(const std::vector<Observation>& results) override;
+  /// True once the cell would no longer be open given the committed counts
+  /// plus the streaming results of the in-flight round — every class is
+  /// satisfied or hopeless, so the cell's remaining replicates this round
+  /// buy nothing.
+  [[nodiscard]] bool observe_streaming(const Observation& obs) override;
 
   /// Coverage verdict for (cell, class) given the data so far.
   [[nodiscard]] ClassCoverage coverage(std::size_t cell_index,
@@ -260,6 +292,9 @@ class CoverageStrategy final : public Strategy {
   CoverageConfig config_;
   std::vector<Cell> cell_list_;
   std::vector<CellState> cells_;
+  /// Streaming scratch atop the committed counts, for the in-flight round
+  /// only. Reset by next_round(), never read by the barrier path.
+  std::vector<CellState> streaming_;
 };
 
 }  // namespace hsfi::adaptive

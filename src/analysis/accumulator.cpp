@@ -2,19 +2,34 @@
 
 namespace hsfi::analysis {
 
+void CellStats::fold(bool ok, const ManifestationBreakdown& breakdown,
+                     std::uint64_t run_injections,
+                     std::uint64_t run_duplicates,
+                     const Histogram* run_latency) {
+  ++runs;
+  if (!ok) return;
+  ++ok_runs;
+  injections += run_injections;
+  duplicates += run_duplicates;
+  manifestations += breakdown;
+  if (run_latency != nullptr) latency.merge(*run_latency);
+}
+
+void CellStats::merge(const CellStats& other) {
+  runs += other.runs;
+  ok_runs += other.ok_runs;
+  injections += other.injections;
+  duplicates += other.duplicates;
+  manifestations += other.manifestations;
+  latency.merge(other.latency);
+}
+
 void CellAccumulator::add_run(const std::string& cell, bool ok,
                               const ManifestationBreakdown& manifestations,
                               std::uint64_t injections,
                               std::uint64_t duplicates,
                               const Histogram* latency) {
-  CellStats& stats = cells_[cell];
-  ++stats.runs;
-  if (!ok) return;
-  ++stats.ok_runs;
-  stats.injections += injections;
-  stats.duplicates += duplicates;
-  stats.manifestations += manifestations;
-  if (latency != nullptr) stats.latency.merge(*latency);
+  cells_[cell].fold(ok, manifestations, injections, duplicates, latency);
 }
 
 const CellStats* CellAccumulator::find(const std::string& cell) const {

@@ -20,7 +20,11 @@
 
 namespace hsfi::analysis {
 
-/// Cumulative totals for one cell.
+/// Cumulative totals for one cell. Folding is commutative and associative
+/// (plain counter sums plus a bucket-wise histogram merge), so a cell built
+/// record-by-record, in any order, or merged from per-shard partials is
+/// bit-identical to one folded in a single batch — the property the
+/// streaming monitor (monitor::StreamingCell) relies on.
 struct CellStats {
   std::uint64_t runs = 0;        ///< runs folded in
   std::uint64_t ok_runs = 0;     ///< runs that completed (outcome ok)
@@ -29,6 +33,17 @@ struct CellStats {
   ManifestationBreakdown manifestations;
   Histogram latency;             ///< merged firing -> first-effect delays
 
+  /// Folds one run in. Counters only accumulate for ok runs (a timed-out
+  /// run has no trustworthy counters), but `runs` counts every attempt so
+  /// rates stay honest about failed work.
+  void fold(bool ok, const ManifestationBreakdown& breakdown,
+            std::uint64_t run_injections, std::uint64_t run_duplicates,
+            const Histogram* run_latency = nullptr);
+
+  /// Accumulates another cell's totals (shard merge). Histograms must share
+  /// bounds, the same precondition as Histogram::merge.
+  void merge(const CellStats& other);
+
   /// Firings with any observable downstream effect (everything but
   /// masked). The breakdown sums to `injections`, so this is the
   /// numerator of the cell's manifestation rate.
@@ -36,15 +51,15 @@ struct CellStats {
     return manifestations.total() -
            manifestations[Manifestation::kMasked];
   }
+
+  friend bool operator==(const CellStats&, const CellStats&) = default;
 };
 
 /// Name-keyed per-cell totals. The caller picks the key (the adaptive
 /// controller uses the "<fault>/<direction>" prefix of the run name).
 class CellAccumulator {
  public:
-  /// Folds one run into `cell`. Counters only accumulate for ok runs
-  /// (a timed-out run has no trustworthy counters), but `runs` counts
-  /// every attempt so rates stay honest about failed work.
+  /// Folds one run into `cell` (see CellStats::fold for the ok-run rule).
   void add_run(const std::string& cell, bool ok,
                const ManifestationBreakdown& manifestations,
                std::uint64_t injections, std::uint64_t duplicates,

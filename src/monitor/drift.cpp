@@ -1,0 +1,95 @@
+#include "monitor/drift.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "adaptive/stats.hpp"
+
+namespace hsfi::monitor {
+
+std::string_view to_string(DriftKind k) noexcept {
+  switch (k) {
+    case DriftKind::kRateDivergence: return "rate-divergence";
+    case DriftKind::kLatencyShift: return "latency-shift";
+  }
+  return "?";
+}
+
+std::string DriftFlag::describe() const {
+  char buf[256];
+  if (kind == DriftKind::kRateDivergence) {
+    std::snprintf(buf, sizeof(buf), "rate-divergence %s: %s vs %s (gap %.2f)",
+                  cell.c_str(), group_a.c_str(), group_b.c_str(), value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "latency-shift %s [%s] (tv %.2f)",
+                  cell.c_str(), group_a.c_str(), value);
+  }
+  return buf;
+}
+
+std::optional<double> rate_divergence(std::uint64_t successes_a,
+                                      std::uint64_t trials_a,
+                                      std::uint64_t successes_b,
+                                      std::uint64_t trials_b,
+                                      const DriftConfig& config) {
+  if (trials_a < config.min_injections || trials_b < config.min_injections) {
+    return std::nullopt;
+  }
+  const auto a = adaptive::wilson_interval(successes_a, trials_a, config.z);
+  const auto b = adaptive::wilson_interval(successes_b, trials_b, config.z);
+  if (a.hi < b.lo) return b.lo - a.hi;
+  if (b.hi < a.lo) return a.lo - b.hi;
+  return std::nullopt;
+}
+
+LatencyDrift::LatencyDrift(DriftConfig config) : config_(std::move(config)) {
+  if (config_.baseline_runs == 0) config_.baseline_runs = 1;
+  if (config_.window_runs == 0) config_.window_runs = 1;
+}
+
+void LatencyDrift::add(const analysis::Histogram& run_latency) {
+  if (run_latency.count() == 0) return;
+  if (baseline_folds_ < config_.baseline_runs) {
+    baseline_.merge(run_latency);
+    ++baseline_folds_;
+    return;
+  }
+  if (window_sum_.empty()) {
+    window_sum_.assign(run_latency.buckets().size(), 0);
+  }
+  if (run_latency.buckets().size() != window_sum_.size()) return;  // bounds mismatch
+  window_.push_back(run_latency.buckets());
+  for (std::size_t i = 0; i < window_sum_.size(); ++i) {
+    window_sum_[i] += window_.back()[i];
+  }
+  window_count_ += run_latency.count();
+  while (window_.size() > config_.window_runs) {
+    const auto& expiring = window_.front();
+    for (std::size_t i = 0; i < window_sum_.size(); ++i) {
+      window_sum_[i] -= expiring[i];
+      window_count_ -= expiring[i];
+    }
+    window_.pop_front();
+  }
+}
+
+std::optional<double> LatencyDrift::shift() const {
+  if (baseline_folds_ < config_.baseline_runs) return std::nullopt;
+  if (baseline_.count() < config_.min_latency_samples ||
+      window_count_ < config_.min_latency_samples) {
+    return std::nullopt;
+  }
+  const auto& base = baseline_.buckets();
+  if (base.size() != window_sum_.size()) return std::nullopt;
+  const double bn = static_cast<double>(baseline_.count());
+  const double wn = static_cast<double>(window_count_);
+  double tv = 0.0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const double p = static_cast<double>(base[i]) / bn;
+    const double q = static_cast<double>(window_sum_[i]) / wn;
+    tv += std::abs(p - q);
+  }
+  return tv / 2.0;
+}
+
+}  // namespace hsfi::monitor

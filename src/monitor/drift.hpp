@@ -1,0 +1,112 @@
+// Online drift detection over the streaming cell statistics.
+//
+// Two detectors, both deterministic functions of the records folded so far:
+//
+//  * Manifestation-rate divergence: the same fault × direction cell,
+//    realized over two different groups (media today, topologies tomorrow),
+//    whose Wilson intervals have pulled apart — the z-quantile CIs are
+//    disjoint with at least min_injections firings on each side. This is
+//    the paper's cross-network comparison ("failure analysis ... performed
+//    simultaneously over both of these networks") run continuously instead
+//    of post-hoc.
+//
+//  * Latency-distribution shift: a cell whose firing → first-effect delay
+//    histogram over a rolling window of recent runs has moved away from the
+//    baseline frozen over the cell's first runs, measured as total
+//    variation distance between the normalized bucket distributions. A
+//    fault whose manifestations suddenly take a different path (e.g. CRC
+//    drops giving way to long-period timeouts) shifts buckets long before
+//    the aggregate rate moves.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+
+namespace hsfi::monitor {
+
+struct DriftConfig {
+  /// Normal quantile for the divergence intervals (1.96 = 95%).
+  double z = 1.96;
+  /// Firings required on each side before rate divergence can fire —
+  /// below this the Wilson intervals are too wide to disjoin spuriously
+  /// anyway, but the floor documents intent and guards small-n edge cases.
+  std::uint64_t min_injections = 64;
+  /// Ok-runs frozen into the latency baseline before comparison starts.
+  std::size_t baseline_runs = 8;
+  /// Rolling window of recent runs compared against the baseline.
+  std::size_t window_runs = 8;
+  /// Latency samples required on both sides before a shift can fire.
+  std::uint64_t min_latency_samples = 32;
+  /// Total-variation distance (0..1) above which a shift is flagged.
+  double latency_shift_threshold = 0.25;
+};
+
+enum class DriftKind : std::uint8_t {
+  kRateDivergence,  ///< same cell, two groups, disjoint Wilson intervals
+  kLatencyShift,    ///< rolling latency window moved off the cell baseline
+};
+
+[[nodiscard]] std::string_view to_string(DriftKind k) noexcept;
+
+struct DriftFlag {
+  DriftKind kind = DriftKind::kRateDivergence;
+  std::string cell;     ///< "<fault>/<direction>"
+  std::string group_a;  ///< first group (divergence) / the group (shift)
+  std::string group_b;  ///< second group (divergence only)
+  /// Gap between the disjoint intervals (divergence), or the total
+  /// variation distance (shift).
+  double value = 0.0;
+
+  /// One-line rendering, e.g.
+  /// "rate-divergence seu-00FF/both: myrinet vs fc (gap 0.18)".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Disjointness test for two binomial rates at DriftConfig::z. Returns the
+/// gap between the intervals when they are disjoint and both sides have
+/// min_injections, nullopt otherwise.
+[[nodiscard]] std::optional<double> rate_divergence(
+    std::uint64_t successes_a, std::uint64_t trials_a,
+    std::uint64_t successes_b, std::uint64_t trials_b,
+    const DriftConfig& config);
+
+/// Rolling latency-shift tracker for one cell's run stream. Baseline
+/// absorbs the first baseline_runs histogram-bearing runs; after that every
+/// run enters a window of the last window_runs, and shift() compares window
+/// against baseline.
+class LatencyDrift {
+ public:
+  explicit LatencyDrift(DriftConfig config = {});
+
+  /// Folds one finished run's latency histogram (empty histograms are
+  /// ignored — a masked-only run says nothing about latency shape).
+  void add(const analysis::Histogram& run_latency);
+
+  /// Total variation distance between the rolling window and the baseline
+  /// when both are populated past the config floors, nullopt otherwise.
+  [[nodiscard]] std::optional<double> shift() const;
+
+  [[nodiscard]] const analysis::Histogram& baseline() const noexcept {
+    return baseline_;
+  }
+  [[nodiscard]] std::uint64_t window_samples() const noexcept {
+    return window_count_;
+  }
+
+ private:
+  DriftConfig config_;
+  analysis::Histogram baseline_;
+  std::size_t baseline_folds_ = 0;
+  /// Per-run bucket counts of the last window_runs runs, plus their sum —
+  /// subtraction on expiry keeps the rolling merge O(buckets) per run.
+  std::deque<std::vector<std::uint64_t>> window_;
+  std::vector<std::uint64_t> window_sum_;
+  std::uint64_t window_count_ = 0;
+};
+
+}  // namespace hsfi::monitor

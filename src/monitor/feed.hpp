@@ -1,0 +1,76 @@
+// StreamingFeed: the mid-batch bridge between the orchestrator's record
+// stream and a closed-loop consumer (adaptive::Controller).
+//
+// The batch-barrier loop only lets a Strategy see results between rounds;
+// the feed hands each record over the moment its run completes, so the
+// controller can stop spending workers on a cell whose Wilson bound has
+// already resolved. The feed itself stays strategy-agnostic: it folds
+// records into per-cell StreamingCells (and forwards to an optional
+// MonitorService for the live table / drift view), and exposes the
+// streaming queries — publish count, per-cell snapshots, the generic
+// resolved() test. Deciding *whether* a resolved cell cancels its
+// remaining runs belongs to the controller (deterministic mode defers
+// everything to the barrier; live mode skips — see DESIGN §10).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "monitor/service.hpp"
+#include "monitor/streaming_cell.hpp"
+#include "orchestrator/runner.hpp"
+
+namespace hsfi::monitor {
+
+class StreamingFeed {
+ public:
+  /// `service` is optional and not owned; when set, every published record
+  /// is forwarded so the live table and drift detectors see the same
+  /// stream. Must outlive the feed.
+  explicit StreamingFeed(MonitorService* service = nullptr)
+      : service_(service) {}
+
+  /// Folds one finished record (called mid-batch by the controller, under
+  /// the runner's callback mutex; thread-safe regardless).
+  void publish(const orchestrator::RunRecord& record) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      cells_[orchestrator::cell_key(record.name)].fold(record);
+      ++published_;
+    }
+    if (service_ != nullptr) service_->on_record(record);
+  }
+
+  /// Records published so far (across rounds).
+  [[nodiscard]] std::uint64_t published() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return published_;
+  }
+
+  /// Snapshot of one cell's streaming stats ("<fault>/<direction>" key);
+  /// empty cell when nothing has been published for it.
+  [[nodiscard]] StreamingCell cell(const std::string& cell_name) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cells_.find(cell_name);
+    return it == cells_.end() ? StreamingCell{} : it->second;
+  }
+
+  /// The generic early-cancel test: the cell's Wilson interval has
+  /// resolved to `max_width` on `min_injections`+ firings.
+  [[nodiscard]] bool resolved(const std::string& cell_name, double max_width,
+                              std::uint64_t min_injections) const {
+    return cell(cell_name).resolved(max_width, min_injections);
+  }
+
+  [[nodiscard]] MonitorService* service() const noexcept { return service_; }
+
+ private:
+  MonitorService* service_;
+  mutable std::mutex mu_;
+  std::map<std::string, StreamingCell> cells_;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace hsfi::monitor

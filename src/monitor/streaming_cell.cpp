@@ -1,0 +1,13 @@
+#include "monitor/streaming_cell.hpp"
+
+#include "orchestrator/runner.hpp"
+
+namespace hsfi::monitor {
+
+void StreamingCell::fold(const orchestrator::RunRecord& record) {
+  const bool ok = record.outcome == orchestrator::RunOutcome::kOk;
+  stats_.fold(ok, record.result.manifestations, record.result.injections,
+              record.result.duplicates(), &record.result.manifestation_latency);
+}
+
+}  // namespace hsfi::monitor

@@ -1,0 +1,70 @@
+// Incremental per-cell statistics for the streaming analysis plane.
+//
+// A StreamingCell is the online form of the batch analysis::CellAccumulator
+// entry: records fold in one at a time, in any order, or arrive pre-folded
+// from another shard via merge() — and every path yields bit-identical
+// totals, because the underlying analysis::CellStats folding is commutative
+// and associative (plain counter sums plus a bucket-wise histogram merge).
+// On top of the shared core it answers the streaming questions the batch
+// path answers only at round barriers: the Wilson 95% interval around the
+// cell's manifestation rate right now, and whether that interval has
+// resolved tightly enough to stop spending runs on the cell.
+#pragma once
+
+#include <cstdint>
+
+#include "adaptive/stats.hpp"
+#include "analysis/accumulator.hpp"
+
+namespace hsfi::orchestrator {
+struct RunRecord;
+}
+
+namespace hsfi::monitor {
+
+class StreamingCell {
+ public:
+  /// Folds one finished run record in (outcome, breakdown, injections,
+  /// duplicates, latency histogram).
+  void fold(const orchestrator::RunRecord& record);
+
+  /// Raw fold for out-of-process shards (JSONL tail mode carries no latency
+  /// histogram — pass nullptr).
+  void fold(bool ok, const analysis::ManifestationBreakdown& manifestations,
+            std::uint64_t injections, std::uint64_t duplicates,
+            const analysis::Histogram* latency = nullptr) {
+    stats_.fold(ok, manifestations, injections, duplicates, latency);
+  }
+
+  /// Shard merge: accumulates another cell's totals into this one.
+  void merge(const StreamingCell& other) { stats_.merge(other.stats_); }
+
+  [[nodiscard]] const analysis::CellStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Streaming Wilson interval over the manifestation rate (manifested
+  /// firings / injections) as of the records folded so far.
+  [[nodiscard]] adaptive::WilsonInterval wilson(double z = 1.96) const {
+    return adaptive::wilson_interval(stats_.manifested(), stats_.injections,
+                                     z);
+  }
+
+  /// True once the Wilson interval is narrower than `max_width` with at
+  /// least `min_injections` firings behind it — the generic "this cell's
+  /// rate is known, stop spending runs here" test the streaming feed and
+  /// strategies build their early-cancel rules on.
+  [[nodiscard]] bool resolved(double max_width,
+                              std::uint64_t min_injections) const {
+    if (stats_.injections < min_injections) return false;
+    const auto w = wilson();
+    return w.hi - w.lo <= max_width;
+  }
+
+  friend bool operator==(const StreamingCell&, const StreamingCell&) = default;
+
+ private:
+  analysis::CellStats stats_;
+};
+
+}  // namespace hsfi::monitor

@@ -53,6 +53,7 @@ std::string_view to_string(RunOutcome o) noexcept {
     case RunOutcome::kOk: return "ok";
     case RunOutcome::kTimedOut: return "timed_out";
     case RunOutcome::kError: return "error";
+    case RunOutcome::kSkipped: return "skipped";
   }
   return "?";
 }
@@ -114,7 +115,7 @@ nftape::Report summarize(const std::string& title,
   nftape::Report report(title);
   report.set_header({"run", "name", "outcome", "attempts", "sent", "received",
                      "loss", "dups", "injections", "manifestations"});
-  std::size_t ok = 0, timed_out = 0, errors = 0;
+  std::size_t ok = 0, timed_out = 0, errors = 0, skipped = 0;
   std::uint64_t duplicates = 0;
   double wall_ms = 0.0;
   for (const auto& r : records) {
@@ -134,11 +135,16 @@ nftape::Report summarize(const std::string& title,
       case RunOutcome::kOk: ++ok; break;
       case RunOutcome::kTimedOut: ++timed_out; break;
       case RunOutcome::kError: ++errors; break;
+      case RunOutcome::kSkipped: ++skipped; break;
     }
   }
   report.add_note(nftape::cell(
       "%zu ok, %zu timed out, %zu errored; %.1f s of worker wall time", ok,
       timed_out, errors, wall_ms / 1e3));
+  if (skipped != 0) {
+    report.add_note(nftape::cell(
+        "%zu skipped (early-cancelled by the streaming feed)", skipped));
+  }
   if (duplicates != 0) {
     report.add_note(nftape::cell(
         "%llu duplicate deliveries (received > sent; not counted as loss)",
@@ -147,20 +153,23 @@ nftape::Report summarize(const std::string& title,
   return report;
 }
 
+std::string cell_key(std::string_view run_name) {
+  const auto first = run_name.find('/');
+  if (first != std::string_view::npos) {
+    const auto second = run_name.find('/', first + 1);
+    if (second != std::string_view::npos) {
+      return std::string(run_name.substr(0, second));
+    }
+  }
+  return std::string(run_name);
+}
+
 nftape::Report cell_summary(const std::string& title,
                             const std::vector<RunRecord>& records) {
-  // Cell = the "<fault>/<direction>" prefix of the run name (the first two
-  // '/'-separated segments); records with shorter names fall into one cell
-  // keyed by the whole name.
   analysis::CellAccumulator cells;
   for (const auto& r : records) {
-    std::string cell = r.name;
-    const auto first = r.name.find('/');
-    if (first != std::string::npos) {
-      const auto second = r.name.find('/', first + 1);
-      if (second != std::string::npos) cell = r.name.substr(0, second);
-    }
-    cells.add_run(cell, r.outcome == RunOutcome::kOk, r.result.manifestations,
+    cells.add_run(cell_key(r.name), r.outcome == RunOutcome::kOk,
+                  r.result.manifestations,
                   r.result.injections, r.result.duplicates(),
                   &r.result.manifestation_latency);
   }
@@ -180,13 +189,22 @@ nftape::Report cell_summary(const std::string& title,
 
 Runner::Runner(RunnerConfig config) : config_(std::move(config)) {}
 
-void Runner::execute_one(const RunSpec& run, RunRecord& rec) {
+namespace {
+
+/// Identity fields every record carries, executed or not.
+void stamp_identity(const RunSpec& run, RunRecord& rec) {
   rec.index = run.index;
   rec.name = run.campaign.name;
   rec.seed = run.seed;
   rec.medium = run.campaign.medium;
   rec.round = run.round;
   rec.strategy = run.strategy;
+}
+
+}  // namespace
+
+void Runner::execute_one(const RunSpec& run, RunRecord& rec) {
+  stamp_identity(run, rec);
 
   // Auto simulated-time cap: generous for a healthy run of this spec's own
   // span, fatal for a livelocked simulation.
@@ -258,25 +276,39 @@ std::vector<RunRecord> Runner::run_batch(const std::vector<RunSpec>& runs) {
     for (;;) {
       const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
       if (idx >= runs.size()) return;
-      {
-        const std::lock_guard<std::mutex> lock(mu);
-        ++progress.in_flight;
-        if (config_.on_progress) config_.on_progress(progress);
-      }
-      execute_one(runs[idx], records[idx]);
-      {
-        const std::lock_guard<std::mutex> lock(mu);
-        --progress.in_flight;
-        const RunRecord& rec = records[idx];
-        if (rec.outcome == RunOutcome::kOk) {
-          ++progress.completed;
-        } else {
-          ++progress.failed;
+      // Early-cancel: a closed-loop feed may have resolved this run's cell
+      // while it sat in the queue. Polled outside the mutex (should_skip is
+      // thread-safe by contract); the record still flows through the sinks
+      // so the stream stays one-record-per-run.
+      const bool skip =
+          config_.should_skip && config_.should_skip(runs[idx]);
+      if (skip) {
+        RunRecord& rec = records[idx];
+        stamp_identity(runs[idx], rec);
+        rec.outcome = RunOutcome::kSkipped;
+        rec.error = "skipped: cell resolved by streaming feed";
+      } else {
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          ++progress.in_flight;
+          if (config_.on_progress) config_.on_progress(progress);
         }
+        execute_one(runs[idx], records[idx]);
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        const RunRecord& rec = records[idx];
+        switch (rec.outcome) {
+          case RunOutcome::kOk: ++progress.completed; break;
+          case RunOutcome::kSkipped: ++progress.skipped; break;
+          default: ++progress.failed; break;
+        }
+        if (!skip) --progress.in_flight;
         if (rec.attempts > 1) {
           progress.retries += static_cast<std::size_t>(rec.attempts - 1);
         }
         if (config_.on_record) config_.on_record(rec);
+        for (RecordSink* sink : config_.sinks) sink->on_record(rec);
         if (config_.on_progress) config_.on_progress(progress);
       }
     }

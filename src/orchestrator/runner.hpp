@@ -32,6 +32,7 @@ enum class RunOutcome : std::uint8_t {
   kOk,        ///< campaign completed and produced a result
   kTimedOut,  ///< watchdog cancelled every attempt
   kError,     ///< executor threw (non-watchdog)
+  kSkipped,   ///< RunnerConfig::should_skip declined the run (never started)
 };
 
 [[nodiscard]] std::string_view to_string(RunOutcome o) noexcept;
@@ -65,11 +66,17 @@ struct RunRecord {
 [[nodiscard]] nftape::Report summarize(const std::string& title,
                                        const std::vector<RunRecord>& records);
 
-/// Per-cell aggregate: records grouped by the "<fault>/<direction>" prefix
-/// of their run name, with the manifestation rate (manifested firings /
-/// injections) and its Wilson 95% confidence interval per cell — the same
-/// interval the adaptive coverage strategy stops on, so the table shows
-/// exactly the numbers the controller acted on.
+/// The "<fault>/<direction>" cell key of a run name: its first two
+/// '/'-separated segments. Names with fewer segments key as the whole name.
+/// Shared by cell_summary and the streaming monitor so both aggregate over
+/// the same cells.
+[[nodiscard]] std::string cell_key(std::string_view run_name);
+
+/// Per-cell aggregate: records grouped by the cell_key of their run name,
+/// with the manifestation rate (manifested firings / injections) and its
+/// Wilson 95% confidence interval per cell — the same interval the adaptive
+/// coverage strategy stops on, so the table shows exactly the numbers the
+/// controller acted on.
 [[nodiscard]] nftape::Report cell_summary(const std::string& title,
                                           const std::vector<RunRecord>& records);
 
@@ -77,8 +84,21 @@ struct Progress {
   std::size_t total = 0;
   std::size_t completed = 0;  ///< finished ok
   std::size_t failed = 0;     ///< finished timed_out or error
+  std::size_t skipped = 0;    ///< declined by should_skip (early-cancel)
   std::size_t in_flight = 0;
   std::size_t retries = 0;    ///< attempts beyond the first, so far
+};
+
+/// Streaming consumer of finished run records — the online analysis plane's
+/// attachment point (monitor::MonitorService implements it). The runner
+/// fires it per completed run, in completion order, serialized by the same
+/// mutex as the on_record / on_progress callbacks, so an implementation
+/// needs no locking of its own against the pool (it does need it against
+/// readers on other threads).
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+  virtual void on_record(const RunRecord& record) = 0;
 };
 
 struct RunnerConfig {
@@ -99,6 +119,17 @@ struct RunnerConfig {
   /// Called (serialized) with each finished record, in completion order —
   /// the streaming JSONL hook.
   std::function<void(const RunRecord&)> on_record;
+  /// Streaming record consumers, fired (serialized) alongside on_record for
+  /// every finished record, in registration order. Raw pointers: sinks must
+  /// outlive every run_all / run_batch call.
+  std::vector<RecordSink*> sinks;
+  /// Early-cancel hook for closed-loop feeds: polled when a worker dequeues
+  /// a run; true skips execution entirely and records RunOutcome::kSkipped
+  /// (0 attempts). Called concurrently from worker threads — must be
+  /// thread-safe. Which runs observe a late-arriving skip depends on
+  /// completion order, so any campaign that wants byte-stable JSONL must
+  /// leave this unset (the adaptive controller's deterministic mode does).
+  std::function<bool(const RunSpec&)> should_skip;
   /// Executes one attempt; used by tests to substitute hostile executors.
   /// Default: build an isolated Testbed, settle startup, run the campaign
   /// under `control`. Must throw nftape::RunCancelled when cancelled.
@@ -141,13 +172,15 @@ class Runner {
 };
 
 /// Thread-safe streaming sink: one JSONL line per finished record, in
-/// completion order. Plug `sink` into RunnerConfig::on_record.
-class JsonlSink {
+/// completion order. Plug into RunnerConfig::sinks (or on_record via
+/// `write`).
+class JsonlSink : public RecordSink {
  public:
   explicit JsonlSink(std::ostream& out, bool include_timing = false)
       : out_(out), timing_(include_timing) {}
 
   void write(const RunRecord& record);
+  void on_record(const RunRecord& record) override { write(record); }
 
  private:
   std::ostream& out_;

@@ -37,6 +37,27 @@ TEST(WilsonTest, ZeroTrialsIsVacuous) {
   EXPECT_EQ(w.rate, 0.0);
 }
 
+TEST(WilsonTest, ZeroTrialsNeverProducesNaN) {
+  // Regression: n == 0 must take the documented full-width [0, 1] branch,
+  // not divide by n. Every field has to be finite for the stopping rules
+  // (NaN comparisons are all false, which would wedge a cell open forever).
+  const auto w = wilson_interval(0, 0);
+  EXPECT_TRUE(std::isfinite(w.lo));
+  EXPECT_TRUE(std::isfinite(w.hi));
+  EXPECT_TRUE(std::isfinite(w.rate));
+  EXPECT_TRUE(std::isfinite(wilson_upper(0, 0)));
+  EXPECT_TRUE(std::isfinite(wilson_lower(0, 0)));
+}
+
+TEST(WilsonTest, SuccessesAboveTrialsIsRejected) {
+  // Regression: p > 1 drives the score discriminant negative and the whole
+  // interval to NaN; reject instead of returning poison.
+  EXPECT_THROW((void)wilson_interval(3, 2), std::invalid_argument);
+  EXPECT_THROW((void)wilson_interval(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)wilson_upper(11, 10), std::invalid_argument);
+  EXPECT_THROW((void)wilson_lower(11, 10), std::invalid_argument);
+}
+
 TEST(WilsonTest, NeverZeroWidthAtBoundaries) {
   // The property the coverage stopping rule depends on: 0/n must leave a
   // nonzero upper bound (the class might still exist) and n/n a lower
