@@ -7,6 +7,10 @@
 //   ./build/examples/run_sweep --workers 1 --out a.jsonl
 //   ./build/examples/run_sweep --workers 8 --out b.jsonl
 //   sort a.jsonl | diff - <(sort b.jsonl)               # byte-identical
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -21,57 +25,23 @@
 
 #include "adaptive/controller.hpp"
 #include "adaptive/strategy.hpp"
-#include "fc/frame.hpp"
 #include "monitor/feed.hpp"
+#include "monitor/jsonl_reader.hpp"
 #include "monitor/service.hpp"
-#include "myrinet/control.hpp"
-#include "nftape/faults.hpp"
 #include "nftape/medium.hpp"
+#include "orchestrator/campaign_file.hpp"
+#include "orchestrator/json_value.hpp"
 #include "orchestrator/jsonl.hpp"
 #include "orchestrator/runner.hpp"
+#include "orchestrator/shard.hpp"
 #include "orchestrator/sweep.hpp"
 
 using namespace hsfi;
-using myrinet::ControlSymbol;
 
 namespace {
 
-std::vector<orchestrator::FaultPoint> fault_axis() {
-  const auto sym = [](ControlSymbol a, ControlSymbol b) {
-    return nftape::control_symbol_corruption(a, b);
-  };
-  return {
-      {"stop-idle", sym(ControlSymbol::kStop, ControlSymbol::kIdle)},
-      {"stop-gap", sym(ControlSymbol::kStop, ControlSymbol::kGap)},
-      {"stop-go", sym(ControlSymbol::kStop, ControlSymbol::kGo)},
-      {"gap-go", sym(ControlSymbol::kGap, ControlSymbol::kGo)},
-      {"gap-idle", sym(ControlSymbol::kGap, ControlSymbol::kIdle)},
-      {"go-stop", sym(ControlSymbol::kGo, ControlSymbol::kStop)},
-      {"marker-msb", nftape::marker_msb_corruption()},
-      {"seu-00FF", nftape::random_bit_flip_seu(0x00FF)},
-  };
-}
-
-/// The FC fault axis: the same compare/corrupt pipeline aimed at FC symbol
-/// streams. The LFSR-thinned points keep the seu-bits knob meaningful on
-/// this medium too.
-std::vector<orchestrator::FaultPoint> fc_fault_axis() {
-  return {
-      {"seu-00FF", nftape::random_bit_flip_seu(0x00FF)},
-      {"fill-flip", nftape::fc_fill_corruption(0x5A, 0x003F)},
-      {"comma-strike", nftape::fc_comma_strike(0x00FF)},
-      {"sofi3-blank",
-       nftape::fc_ordered_set_corruption(fc::OrderedSet::kSofI3, 0x000F)},
-      {"eoft-blank",
-       nftape::fc_ordered_set_corruption(fc::OrderedSet::kEofT, 0x000F)},
-      {"rrdy-drop",
-       nftape::fc_ordered_set_corruption(fc::OrderedSet::kRRdy, 0x000F)},
-      {"domain-ee", nftape::fc_domain_corruption(0xEE, 0x0003)},
-  };
-}
-
 std::vector<orchestrator::FaultPoint> fault_axis_for(nftape::Medium medium) {
-  return medium == nftape::Medium::kFc ? fc_fault_axis() : fault_axis();
+  return orchestrator::standard_fault_axis(medium);
 }
 
 void usage(std::FILE* to = stdout) {
@@ -116,7 +86,24 @@ void usage(std::FILE* to = stdout) {
       "                   become outcome=skipped; the JSONL stream is no\n"
       "                   longer byte-stable across worker counts)\n"
       "  --dry-run        print the expanded grid (static) or the round-0\n"
-      "                   batch (adaptive) without executing anything\n");
+      "                   batch (adaptive) without executing anything\n"
+      "  --spec FILE      declarative campaign file (JSON: targets, media,\n"
+      "                   fault subsets, grids, strategy); replaces the grid\n"
+      "                   flags (--medium/--faults/--seed/--replicates/\n"
+      "                   --duration-ms/--strategy come from the spec)\n"
+      "  --shard K/N      with --spec --out: execute only shard K of N\n"
+      "                   (0-based; ownership is seed-keyed, so all N\n"
+      "                   processes agree without coordination); writes\n"
+      "                   FILE.shardKofN plus a durable .ckpt sidecar\n"
+      "  --merge N        with --spec --out: merge the N shard files into\n"
+      "                   --out, byte-identical to a single-process run\n"
+      "  --resume         with --spec --out: continue after the last durable\n"
+      "                   checkpoint batch (static) or round (strategy);\n"
+      "                   refuses checkpoints from an edited spec\n"
+      "  --batch N        with --spec: override the spec's checkpoint_batch\n"
+      "  --crash-after-batches N\n"
+      "                   test hook: append a torn record and hard-exit (as\n"
+      "                   if SIGKILLed) after N durable batches/rounds\n");
 }
 
 /// Commit stamp for --bench-out records: HSFI_COMMIT env when set (the
@@ -201,6 +188,424 @@ bool write_bench_out(const std::string& path,
   return static_cast<bool>(out);
 }
 
+// ===========================================================================
+// --spec mode: declarative campaign files, seed-keyed sharding, durable
+// checkpoints, resume, and shard merge (see orchestrator/campaign_file.hpp
+// and orchestrator/shard.hpp).
+
+struct SpecCli {
+  std::string spec_path;
+  std::string out_path;
+  std::size_t workers = 0;
+  bool timing = false;
+  bool resume = false;
+  bool dry_run = false;
+  std::uint32_t shard_k = 0;
+  std::uint32_t shard_n = 1;
+  std::uint32_t merge_n = 0;
+  std::size_t batch_override = 0;
+  std::uint64_t crash_after = 0;  ///< test hook: hard-exit after N batches
+};
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", (unsigned long long)v);
+  return buf;
+}
+
+/// The --crash-after-batches hook: append a torn (newline-less, truncated)
+/// record to the data file — the worst-case in-flight write — then die
+/// without unwinding, like a SIGKILL would. Resume must discard the tear.
+[[noreturn]] void crash_torn(const std::string& data_file) {
+  const int fd = ::open(data_file.c_str(), O_WRONLY | O_APPEND);
+  if (fd >= 0) {
+    const char torn[] = "{\"run\":9999999,\"name\":\"torn-by-cra";
+    const ssize_t ignored = ::write(fd, torn, sizeof(torn) - 1);
+    (void)ignored;
+    ::close(fd);
+  }
+  _exit(9);
+}
+
+int run_spec_static(const orchestrator::CampaignFile& file,
+                    const SpecCli& cli) {
+  const auto runs = orchestrator::expand_campaign(file);
+
+  if (cli.dry_run) {
+    std::printf("dry run: %zu runs across %zu targets\n", runs.size(),
+                file.targets.size());
+    for (const auto& r : runs) {
+      if (cli.shard_n > 1 &&
+          orchestrator::shard_of(r.seed, cli.shard_n) != cli.shard_k) {
+        continue;
+      }
+      std::printf("%zu %s seed=%llu\n", r.index, r.campaign.name.c_str(),
+                  (unsigned long long)r.seed);
+    }
+    return 0;
+  }
+
+  if (cli.merge_n > 0) {
+    const std::size_t merged =
+        orchestrator::merge_shards(runs, cli.out_path, cli.merge_n);
+    std::fprintf(stderr, "merged %zu records from %u shards into %s\n",
+                 merged, cli.merge_n, cli.out_path.c_str());
+    return 0;
+  }
+
+  const auto mine = orchestrator::shard_runs(runs, cli.shard_k, cli.shard_n);
+  std::fprintf(stderr, "%s: %zu of %zu runs on shard %u/%u\n",
+               file.name.c_str(), mine.size(), runs.size(), cli.shard_k,
+               cli.shard_n);
+
+  orchestrator::RunnerConfig rc;
+  rc.workers = cli.workers;
+  rc.on_progress = [](const orchestrator::Progress& p) {
+    std::fprintf(stderr, "\r%zu/%zu done, %zu failed, %zu in flight   ",
+                 p.completed + p.failed, p.total, p.failed, p.in_flight);
+  };
+  orchestrator::Runner runner(rc);
+
+  if (cli.out_path.empty()) {
+    // No durability without a file: plain in-memory sweep to stdout.
+    const auto records = runner.run_all(mine);
+    std::fprintf(stderr, "\n");
+    for (const auto& r : records) {
+      std::printf("%s\n", orchestrator::to_jsonl(r, cli.timing).c_str());
+    }
+    std::fprintf(stderr, "\n%s",
+                 orchestrator::summarize(file.name, records).render().c_str());
+    for (const auto& r : records) {
+      if (r.outcome != orchestrator::RunOutcome::kOk) return 2;
+    }
+    return 0;
+  }
+
+  const std::string data_file =
+      orchestrator::shard_path(cli.out_path, cli.shard_k, cli.shard_n);
+  orchestrator::Checkpoint identity;
+  identity.spec_digest = file.digest;
+  identity.shard = cli.shard_k;
+  identity.of = cli.shard_n;
+
+  orchestrator::ShardOptions opts;
+  opts.batch =
+      cli.batch_override != 0 ? cli.batch_override : file.checkpoint_batch;
+  opts.resume = cli.resume;
+  opts.include_timing = cli.timing;
+  if (cli.crash_after > 0) {
+    opts.after_batch = [&](const orchestrator::Checkpoint& c) {
+      if (c.batches >= cli.crash_after) crash_torn(data_file);
+    };
+  }
+
+  const auto result =
+      orchestrator::run_sharded(runner, mine, data_file, identity, opts);
+  std::fprintf(stderr, "\n%s: %zu runs executed, %llu restored from %s\n",
+               data_file.c_str(), result.executed.size(),
+               (unsigned long long)result.restored,
+               orchestrator::checkpoint_path(data_file).c_str());
+  if (!result.executed.empty()) {
+    std::fprintf(
+        stderr, "\n%s",
+        orchestrator::summarize(file.name, result.executed).render().c_str());
+  }
+  for (const auto& r : result.executed) {
+    if (r.outcome != orchestrator::RunOutcome::kOk) return 2;
+  }
+  return 0;
+}
+
+/// Per-target cursor of the adaptive sidecar.
+struct AdaptiveTargetState {
+  std::uint64_t rounds = 0;
+  std::uint64_t records = 0;  ///< JSONL lines this target owns, in order
+  bool done = false;
+};
+
+void write_adaptive_checkpoint(const std::string& sidecar,
+                               std::uint64_t digest, std::uint64_t bytes,
+                               const std::vector<AdaptiveTargetState>& state) {
+  std::string targets = "[";
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    orchestrator::JsonObject t;
+    t.add_u64("rounds", state[i].rounds);
+    t.add_u64("records", state[i].records);
+    t.add_bool("done", state[i].done);
+    if (i > 0) targets += ',';
+    targets += t.str();
+  }
+  targets += ']';
+  const std::string line = "{\"magic\":\"hsfi-ckpt-v1\",\"mode\":\"adaptive\""
+                           ",\"spec\":\"" + hex64(digest) + "\",\"bytes\":" +
+                           std::to_string(bytes) + ",\"targets\":" + targets +
+                           "}\n";
+  orchestrator::write_text_durable(sidecar, line);
+}
+
+/// Strategy campaigns from a spec: one Controller per target, records
+/// appended durably with a sidecar updated at every round barrier. Resume
+/// parses the durable JSONL back (monitor::parse_record — the strict
+/// record contract) and replays it through Controller::run, which
+/// re-derives and verifies every restored round before executing new ones.
+int run_spec_adaptive(const orchestrator::CampaignFile& file,
+                      const SpecCli& cli) {
+  const orchestrator::StrategySpec& strat = *file.strategy;
+  const std::string sidecar =
+      cli.out_path.empty() ? "" : cli.out_path + ".ckpt";
+
+  std::vector<AdaptiveTargetState> state(file.targets.size());
+  std::vector<std::vector<std::vector<adaptive::ReplayRecord>>> replays(
+      file.targets.size());
+  std::uint64_t keep_bytes = 0;
+
+  if (cli.resume) {
+    std::ifstream in(sidecar, std::ios::binary);
+    if (in) {
+      std::ostringstream text;
+      text << in.rdbuf();
+      std::string error;
+      const auto doc = orchestrator::parse_json(text.str(), &error);
+      if (!doc) {
+        std::fprintf(stderr, "corrupt checkpoint %s (%s)\n", sidecar.c_str(),
+                     error.c_str());
+        return 1;
+      }
+      const auto* mode = doc->find("mode");
+      const auto* spec = doc->find("spec");
+      if (mode == nullptr || mode->text != "adaptive" || spec == nullptr ||
+          std::strtoull(spec->text.c_str(), nullptr, 16) != file.digest) {
+        std::fprintf(stderr,
+                     "checkpoint %s does not match this campaign spec — "
+                     "refusing to splice\n",
+                     sidecar.c_str());
+        return 1;
+      }
+      const auto* bytes = doc->find("bytes");
+      const auto* targets = doc->find("targets");
+      if (bytes == nullptr || !bytes->as_u64(keep_bytes) ||
+          targets == nullptr ||
+          targets->items.size() != file.targets.size()) {
+        std::fprintf(stderr, "checkpoint %s is malformed\n", sidecar.c_str());
+        return 1;
+      }
+      for (std::size_t i = 0; i < state.size(); ++i) {
+        const auto& t = targets->items[i];
+        const auto* rounds = t.find("rounds");
+        const auto* records = t.find("records");
+        const auto* done = t.find("done");
+        if (rounds == nullptr || !rounds->as_u64(state[i].rounds) ||
+            records == nullptr || !records->as_u64(state[i].records) ||
+            done == nullptr) {
+          std::fprintf(stderr, "checkpoint %s is malformed\n",
+                       sidecar.c_str());
+          return 1;
+        }
+        state[i].done = done->boolean;
+      }
+
+      // Read the durable record prefix back and replay it per target, in
+      // round order (emission order is round-major, so grouping is a walk).
+      std::ifstream data(cli.out_path, std::ios::binary);
+      if (!data) {
+        std::fprintf(stderr, "checkpoint %s exists but %s is missing\n",
+                     sidecar.c_str(), cli.out_path.c_str());
+        return 1;
+      }
+      std::string prefix(keep_bytes, '\0');
+      data.read(prefix.data(), static_cast<std::streamsize>(keep_bytes));
+      if (static_cast<std::uint64_t>(data.gcount()) != keep_bytes) {
+        std::fprintf(stderr,
+                     "%s is shorter than its checkpoint (%llu bytes) — the "
+                     "file was tampered with\n",
+                     cli.out_path.c_str(), (unsigned long long)keep_bytes);
+        return 1;
+      }
+      std::istringstream lines(prefix);
+      std::string line;
+      for (std::size_t ti = 0; ti < state.size(); ++ti) {
+        for (std::uint64_t n = 0; n < state[ti].records; ++n) {
+          if (!std::getline(lines, line)) {
+            std::fprintf(stderr, "%s has fewer records than its checkpoint\n",
+                         cli.out_path.c_str());
+            return 1;
+          }
+          const auto rec = monitor::parse_record(line);
+          if (!rec) {
+            std::fprintf(stderr, "unparseable record in %s: %s\n",
+                         cli.out_path.c_str(), line.c_str());
+            return 1;
+          }
+          auto& rounds = replays[ti];
+          if (rec->round >= rounds.size()) rounds.resize(rec->round + 1);
+          adaptive::ReplayRecord rr;
+          rr.name = rec->name;
+          rr.ok = rec->ok();
+          rr.injections = rec->injections;
+          rr.duplicates = rec->duplicates;
+          rr.manifestations = rec->manifestations;
+          rounds[rec->round].push_back(std::move(rr));
+        }
+      }
+      std::fprintf(stderr, "resuming %s: %llu durable bytes restored\n",
+                   cli.out_path.c_str(), (unsigned long long)keep_bytes);
+    }
+  }
+
+  std::unique_ptr<orchestrator::DurableAppender> out;
+  if (!cli.out_path.empty()) {
+    out = std::make_unique<orchestrator::DurableAppender>(cli.out_path,
+                                                          keep_bytes);
+  }
+
+  std::vector<orchestrator::RunRecord> executed;
+  std::size_t replayed_total = 0;
+  std::size_t global_index = 0;
+  std::uint64_t rounds_executed = 0;  // across targets, for --crash-after
+  bool converged_all = true;
+
+  for (std::size_t ti = 0; ti < file.targets.size(); ++ti) {
+    const auto& target = file.targets[ti];
+    const orchestrator::SweepSpec& sweep = target.sweep;
+
+    adaptive::AdaptiveSpec aspec;
+    aspec.name = file.name + ":" + target.name;
+    aspec.base = sweep.base;
+    aspec.testbed = sweep.testbed;
+    aspec.startup_settle = sweep.startup_settle;
+    aspec.faults = sweep.faults;
+    aspec.directions = sweep.directions;
+    aspec.knob = strat.knob;
+    aspec.base_seed = sweep.base_seed;
+    aspec.max_rounds = strat.max_rounds;
+    aspec.name_prefix = target.name + ":";
+    aspec.index_base = global_index;
+
+    adaptive::ControllerConfig cc;
+    cc.runner.workers = cli.workers;
+    const std::uint64_t replayed_rounds = replays[ti].size();
+    cc.on_round = [&](const adaptive::RoundSummary& s) {
+      std::fprintf(stderr, "%s round %u: %zu runs (%zu failed), %zu total\n",
+                   target.name.c_str(), s.round, s.runs, s.failed,
+                   s.total_runs);
+      if (s.round < replayed_rounds) return;  // restored, already durable
+      if (out != nullptr) {
+        // Round barrier = durability barrier: data first, cursor second.
+        out->sync();
+        state[ti].rounds = s.round + 1;
+        state[ti].records = s.total_runs;
+        write_adaptive_checkpoint(sidecar, file.digest, out->bytes(), state);
+      }
+      ++rounds_executed;
+      if (cli.crash_after > 0 && rounds_executed >= cli.crash_after) {
+        crash_torn(cli.out_path);
+      }
+    };
+    if (out != nullptr) {
+      cc.on_record = [&](const orchestrator::RunRecord& r) {
+        out->append(orchestrator::to_jsonl(r, cli.timing) + "\n");
+      };
+    } else {
+      cc.on_record = [&](const orchestrator::RunRecord& r) {
+        std::printf("%s\n", orchestrator::to_jsonl(r, cli.timing).c_str());
+      };
+    }
+
+    adaptive::Controller controller(aspec, std::move(cc));
+
+    std::unique_ptr<adaptive::Strategy> strategy;
+    if (strat.name == "bisect") {
+      adaptive::BisectionConfig bc;
+      bc.lo = strat.axis_lo;
+      bc.hi = strat.axis_hi;
+      bc.tolerance = strat.tolerance_us;
+      bc.higher_is_more_intense = false;
+      bc.min_manifested = 3;
+      strategy = std::make_unique<adaptive::BisectionStrategy>(
+          controller.cells(), bc);
+    } else if (strat.name == "coverage") {
+      adaptive::CoverageConfig cov;
+      cov.knob_value = strat.axis_lo;
+      cov.target_count = strat.target_count;
+      cov.batch_replicates = sweep.replicates;
+      strategy = std::make_unique<adaptive::CoverageStrategy>(
+          controller.cells(), cov);
+    } else {
+      adaptive::FixedGridConfig fg;
+      fg.knob_values = {
+          sim::to_nanoseconds(sweep.base.workload.udp_interval) / 1000.0};
+      fg.replicates = sweep.replicates;
+      strategy = std::make_unique<adaptive::FixedGridStrategy>(
+          controller.cells(), fg);
+    }
+
+    if (cli.dry_run) {
+      const auto round0 = controller.expand_round(strategy->next_round(0), 0,
+                                                  0, strat.name);
+      std::printf("%s: %zu runs in round 0 (strategy %s)\n",
+                  target.name.c_str(), round0.size(), strat.name.c_str());
+      for (const auto& r : round0) {
+        std::printf("%zu %s seed=%llu round=%u\n", r.index,
+                    r.campaign.name.c_str(), (unsigned long long)r.seed,
+                    r.round);
+      }
+      continue;
+    }
+
+    const auto outcome = controller.run(*strategy, replays[ti]);
+    global_index += outcome.replayed + outcome.records.size();
+    replayed_total += outcome.replayed;
+    if (!outcome.converged) converged_all = false;
+    for (const auto& r : outcome.records) executed.push_back(r);
+
+    state[ti].rounds = outcome.rounds;
+    state[ti].records = outcome.replayed + outcome.records.size();
+    state[ti].done = true;
+    if (out != nullptr) {
+      out->sync();
+      write_adaptive_checkpoint(sidecar, file.digest, out->bytes(), state);
+    }
+  }
+  if (cli.dry_run) return 0;
+
+  std::fprintf(stderr, "\n%s [%s]: %zu runs executed, %zu replayed%s\n",
+               file.name.c_str(), strat.name.c_str(), executed.size(),
+               replayed_total,
+               converged_all ? ", all targets converged" : "");
+  if (!executed.empty()) {
+    std::fprintf(
+        stderr, "\n%s",
+        orchestrator::summarize(file.name, executed).render().c_str());
+  }
+  for (const auto& r : executed) {
+    if (r.outcome != orchestrator::RunOutcome::kOk &&
+        r.outcome != orchestrator::RunOutcome::kSkipped) {
+      return 2;
+    }
+  }
+  return 0;
+}
+
+int run_spec(const SpecCli& cli) {
+  try {
+    const auto file = orchestrator::load_campaign_file(cli.spec_path);
+    if (file.strategy.has_value()) {
+      if (cli.shard_n > 1 || cli.merge_n > 0) {
+        std::fprintf(stderr,
+                     "--shard/--merge apply to static campaigns; '%s' is "
+                     "steered by strategy %s\n",
+                     cli.spec_path.c_str(), file.strategy->name.c_str());
+        return 1;
+      }
+      return run_spec_adaptive(file, cli);
+    }
+    return run_spec_static(file, cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -222,6 +627,8 @@ int main(int argc, char** argv) {
   bool monitor = false;
   long monitor_interval_ms = 0;  // 0 = final table only
   bool early_cancel = false;
+  SpecCli spec;
+  bool grid_flags_used = false;  // flags the spec supersedes
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -239,7 +646,17 @@ int main(int argc, char** argv) {
     const auto numeric = [&]() -> long long {
       const char* v = value();
       char* end = nullptr;
+      errno = 0;
       const long long parsed = std::strtoll(v, &end, 10);
+      // ERANGE check: strtoll saturates out-of-range input to LLONG_MAX and
+      // only reports it via errno, so "--runs 99999999999999999999" would
+      // otherwise silently become a 9.2e18-run campaign.
+      if (errno == ERANGE) {
+        std::fprintf(stderr, "%s value out of range: '%s'\n\n", arg.c_str(),
+                     v);
+        usage(stderr);
+        std::exit(1);
+      }
       if (end == v || *end != '\0' || parsed < 0) {
         std::fprintf(stderr, "%s needs a non-negative integer, got '%s'\n\n",
                      arg.c_str(), v);
@@ -252,10 +669,57 @@ int main(int argc, char** argv) {
       workers = static_cast<std::size_t>(numeric());
     } else if (arg == "--seed") {
       seed = static_cast<std::uint64_t>(numeric());
+      grid_flags_used = true;
     } else if (arg == "--replicates") {
       replicates = static_cast<std::size_t>(numeric());
+      grid_flags_used = true;
     } else if (arg == "--duration-ms") {
       duration_ms = static_cast<long>(numeric());
+      grid_flags_used = true;
+    } else if (arg == "--spec") {
+      spec.spec_path = value();
+    } else if (arg == "--shard") {
+      const char* v = value();
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long k = std::strtoull(v, &end, 10);
+      bool ok = errno != ERANGE && end != v && *end == '/';
+      unsigned long long n = 0;
+      if (ok) {
+        const char* rest = end + 1;
+        errno = 0;
+        n = std::strtoull(rest, &end, 10);
+        ok = errno != ERANGE && end != rest && *end == '\0' && n > 0 &&
+             k < n && n <= 4096;
+      }
+      if (!ok) {
+        std::fprintf(stderr, "--shard wants K/N with 0 <= K < N, got '%s'\n\n",
+                     v);
+        usage(stderr);
+        return 1;
+      }
+      spec.shard_k = static_cast<std::uint32_t>(k);
+      spec.shard_n = static_cast<std::uint32_t>(n);
+    } else if (arg == "--merge") {
+      const auto n = numeric();
+      if (n < 2 || n > 4096) {
+        std::fprintf(stderr, "--merge needs at least 2 shards\n\n");
+        usage(stderr);
+        return 1;
+      }
+      spec.merge_n = static_cast<std::uint32_t>(n);
+    } else if (arg == "--resume") {
+      spec.resume = true;
+    } else if (arg == "--batch") {
+      const auto n = numeric();
+      if (n == 0) {
+        std::fprintf(stderr, "--batch must be positive\n\n");
+        usage(stderr);
+        return 1;
+      }
+      spec.batch_override = static_cast<std::size_t>(n);
+    } else if (arg == "--crash-after-batches") {
+      spec.crash_after = static_cast<std::uint64_t>(numeric());
     } else if (arg == "--out") {
       out_path = value();
     } else if (arg == "--bench-out") {
@@ -264,7 +728,9 @@ int main(int argc, char** argv) {
       timing = true;
     } else if (arg == "--faults") {
       fault_filter = value();
+      grid_flags_used = true;
     } else if (arg == "--medium") {
+      grid_flags_used = true;
       const char* v = value();
       const auto parsed = nftape::parse_medium(v);
       if (!parsed) {
@@ -275,6 +741,7 @@ int main(int argc, char** argv) {
       medium = *parsed;
     } else if (arg == "--strategy") {
       strategy_name = value();
+      grid_flags_used = true;
       if (strategy_name != "fixed" && strategy_name != "bisect" &&
           strategy_name != "coverage") {
         std::fprintf(stderr,
@@ -330,6 +797,50 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--early-cancel requires --strategy\n\n");
     usage(stderr);
     return 1;
+  }
+
+  // --spec supersedes the grid flags and owns the shard/resume machinery.
+  if (spec.spec_path.empty()) {
+    if (spec.shard_n > 1 || spec.merge_n > 0 || spec.resume ||
+        spec.batch_override != 0 || spec.crash_after != 0) {
+      std::fprintf(stderr,
+                   "--shard/--merge/--resume/--batch/--crash-after-batches "
+                   "require --spec\n\n");
+      usage(stderr);
+      return 1;
+    }
+  } else {
+    if (grid_flags_used) {
+      std::fprintf(stderr,
+                   "--spec defines the campaign; drop "
+                   "--medium/--faults/--seed/--replicates/--duration-ms/"
+                   "--strategy\n\n");
+      usage(stderr);
+      return 1;
+    }
+    if (monitor || early_cancel || !bench_out_path.empty()) {
+      std::fprintf(stderr,
+                   "--monitor/--early-cancel/--bench-out are not supported "
+                   "with --spec\n\n");
+      usage(stderr);
+      return 1;
+    }
+    if ((spec.shard_n > 1 || spec.merge_n > 0 || spec.resume) &&
+        out_path.empty()) {
+      std::fprintf(stderr, "--shard/--merge/--resume require --out\n\n");
+      usage(stderr);
+      return 1;
+    }
+    if (spec.shard_n > 1 && spec.merge_n > 0) {
+      std::fprintf(stderr, "--shard and --merge are mutually exclusive\n\n");
+      usage(stderr);
+      return 1;
+    }
+    spec.out_path = out_path;
+    spec.workers = workers;
+    spec.timing = timing;
+    spec.dry_run = dry_run;
+    return run_spec(spec);
   }
 
   if (list_only) {

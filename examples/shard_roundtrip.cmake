@@ -1,0 +1,64 @@
+# Drives run_sweep's distributed-campaign surface end to end against a
+# golden spec: single-process reference, optional K-shard split + merge
+# (byte-identical to the reference), then a mid-flight crash (the
+# --crash-after-batches hook appends a torn record and dies like a
+# SIGKILL) followed by --resume, again byte-identical.
+#
+# Usage:
+#   cmake -DSWEEP=<run_sweep> -DSPEC=<campaign.json> -DWORK=<dir>
+#         -DTAG=<prefix> [-DSHARDS=<n>] -DCRASH_AFTER=<batches>
+#         -P shard_roundtrip.cmake
+
+foreach(var SWEEP SPEC WORK TAG CRASH_AFTER)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}")
+  endif()
+endforeach()
+if(NOT DEFINED SHARDS)
+  set(SHARDS 0)
+endif()
+
+function(sweep expect_rc)
+  execute_process(COMMAND ${SWEEP} ${ARGN}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR
+      "run_sweep ${ARGN} exited '${rc}' (wanted ${expect_rc})\n${out}\n${err}")
+  endif()
+endfunction()
+
+function(expect_same a b what)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${b}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${what}: ${a} and ${b} differ")
+  endif()
+endfunction()
+
+file(GLOB stale ${WORK}/${TAG}_*)
+if(stale)
+  file(REMOVE ${stale})
+endif()
+
+# Reference: one process, no interruption.
+set(single ${WORK}/${TAG}_single.jsonl)
+sweep(0 --spec ${SPEC} --out ${single})
+
+# K shards in K independent invocations, then merge.
+if(SHARDS GREATER 1)
+  set(merged ${WORK}/${TAG}_merged.jsonl)
+  math(EXPR last "${SHARDS} - 1")
+  foreach(k RANGE ${last})
+    sweep(0 --spec ${SPEC} --out ${merged} --shard ${k}/${SHARDS})
+  endforeach()
+  sweep(0 --spec ${SPEC} --out ${merged} --merge ${SHARDS})
+  expect_same(${single} ${merged} "merged shards vs single process")
+endif()
+
+# Crash mid-campaign (exit 9 with a torn trailing record), then resume.
+set(resumed ${WORK}/${TAG}_resumed.jsonl)
+sweep(9 --spec ${SPEC} --out ${resumed} --crash-after-batches ${CRASH_AFTER})
+sweep(0 --spec ${SPEC} --out ${resumed} --resume)
+expect_same(${single} ${resumed} "resumed after crash vs single process")
+
+message(STATUS "shard roundtrip ok: ${TAG}")

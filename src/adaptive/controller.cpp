@@ -129,7 +129,7 @@ std::vector<orchestrator::RunSpec> Controller::expand_round(
     const std::uint32_t rep = replicate[{cell_key, req.knob_value}]++;
 
     orchestrator::RunSpec run;
-    run.index = first_index + i;
+    run.index = spec_.index_base + first_index + i;
     run.round = round;
     run.strategy = std::string(strategy_name);
     run.seed = derive_run_seed(spec_.base_seed, round, req.cell.fault,
@@ -139,7 +139,8 @@ std::vector<orchestrator::RunSpec> Controller::expand_round(
     run.testbed.seed = run.seed;
     run.campaign = spec_.base;
     run.campaign.seed = run.seed;
-    run.campaign.name = fault.name;
+    run.campaign.name = spec_.name_prefix;
+    run.campaign.name += fault.name;
     run.campaign.name += '/';
     run.campaign.name += to_string(dir);
     run.campaign.name += '/';
@@ -167,7 +168,15 @@ std::vector<orchestrator::RunSpec> Controller::expand_round(
 }
 
 CampaignOutcome Controller::run(Strategy& strategy) {
+  return run(strategy, {});
+}
+
+CampaignOutcome Controller::run(
+    Strategy& strategy, const std::vector<std::vector<ReplayRecord>>& replay) {
   CampaignOutcome outcome;
+  // Runs accounted so far — replayed and executed. Replayed rounds are not
+  // re-materialized in outcome.records, so indices/caps track this instead.
+  std::size_t emitted = 0;
 
   // Streaming plane: state shared with the runner callbacks for the round
   // in flight. Skip flags are per cell (fault-major, like cells()).
@@ -199,19 +208,73 @@ CampaignOutcome Controller::run(Strategy& strategy) {
   for (std::uint32_t round = 0; round < spec_.max_rounds; ++round) {
     const std::vector<RunRequest> requests = strategy.next_round(round);
     if (requests.empty()) {
+      if (round < replay.size() && !replay[round].empty()) {
+        throw ReplayMismatch(
+            "adaptive resume: checkpoint has records for round " +
+            std::to_string(round) +
+            " but the strategy converged before it — spec drift");
+      }
       outcome.converged = true;
       break;
     }
     if (spec_.max_total_runs != 0 &&
-        outcome.records.size() + requests.size() > spec_.max_total_runs) {
+        emitted + requests.size() > spec_.max_total_runs) {
       break;
     }
-    const auto runs = expand_round(requests, round, outcome.records.size(),
-                                   strategy.name());
+    const auto runs =
+        expand_round(requests, round, emitted, strategy.name());
+
+    if (round < replay.size()) {
+      // Restored round: verify the recorded runs are exactly what the
+      // strategy re-derives, then feed them back without executing.
+      const auto& recorded = replay[round];
+      if (recorded.size() != requests.size()) {
+        throw ReplayMismatch(
+            "adaptive resume: round " + std::to_string(round) + " replays " +
+            std::to_string(recorded.size()) + " records but the strategy " +
+            "requests " + std::to_string(requests.size()) + " — spec drift");
+      }
+      std::vector<Observation> observations;
+      observations.reserve(recorded.size());
+      RoundSummary summary;
+      summary.round = round;
+      summary.runs = recorded.size();
+      for (std::size_t i = 0; i < recorded.size(); ++i) {
+        if (recorded[i].name != runs[i].campaign.name) {
+          throw ReplayMismatch("adaptive resume: round " +
+                               std::to_string(round) + " record " +
+                               std::to_string(i) + " is '" +
+                               recorded[i].name + "' but the strategy " +
+                               "re-derives '" + runs[i].campaign.name +
+                               "' — spec drift");
+        }
+        if (!recorded[i].ok) ++summary.failed;
+        Observation obs;
+        obs.request = requests[i];
+        obs.round = round;
+        obs.ok = recorded[i].ok;
+        obs.injections = recorded[i].injections;
+        obs.duplicates = recorded[i].duplicates;
+        obs.manifestations = recorded[i].manifestations;
+        observations.push_back(obs);
+        outcome.cells.add_run(cell_name(requests[i].cell), recorded[i].ok,
+                              recorded[i].manifestations,
+                              recorded[i].injections, recorded[i].duplicates);
+      }
+      strategy.observe(observations);
+      emitted += recorded.size();
+      outcome.replayed += recorded.size();
+      outcome.rounds = round + 1;
+      summary.total_runs = emitted;
+      if (config_.on_round) config_.on_round(summary);
+      continue;
+    }
+
     // Arm the streaming callbacks for this round (no workers are running
-    // between barriers, so plain writes are safe).
+    // between barriers, so plain writes are safe). first_index must match
+    // the indices expand_round stamped, including index_base.
     stream.requests = &requests;
-    stream.first_index = outcome.records.size();
+    stream.first_index = spec_.index_base + emitted;
     for (auto& flag : skip) flag.store(false, std::memory_order_relaxed);
     // Batch barrier: run_batch returns only when the whole round finished.
     // Records come back positional (= request order), so emission below is
@@ -247,8 +310,9 @@ CampaignOutcome Controller::run(Strategy& strategy) {
     }
 
     strategy.observe(observations);
+    emitted += records.size();
     outcome.rounds = round + 1;
-    summary.total_runs = outcome.records.size();
+    summary.total_runs = emitted;
     if (config_.on_round) config_.on_round(summary);
   }
   return outcome;

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,12 @@ struct AdaptiveSpec {
   /// Hard run cap across all rounds (0 = none). A round that would exceed
   /// it is not started (partial rounds would break batch determinism).
   std::size_t max_total_runs = 0;
+  /// Prepended verbatim to every run name (multi-target campaign files use
+  /// "<target>:"; the colon keeps cell_key's fault/direction grouping).
+  std::string name_prefix;
+  /// Added to every RunSpec::index, so records of a multi-target campaign
+  /// carry campaign-global run numbers.
+  std::size_t index_base = 0;
 };
 
 /// Per-round digest for progress display.
@@ -128,14 +135,38 @@ struct ControllerConfig {
 
 /// Everything a finished adaptive campaign produced.
 struct CampaignOutcome {
-  /// All records, in emission order (round-major, request order within).
+  /// Records EXECUTED by this invocation, in emission order (round-major,
+  /// request order within). Rounds restored from a checkpoint replay are
+  /// folded into `cells` and the strategy but not re-materialized here —
+  /// their records already live in the durable JSONL.
   std::vector<orchestrator::RunRecord> records;
   std::uint32_t rounds = 0;
-  /// Cumulative per-cell totals, keyed "<fault>/<direction>".
+  std::size_t replayed = 0;  ///< runs restored from replay, not re-executed
+  /// Cumulative per-cell totals, keyed "<fault>/<direction>" (replayed
+  /// rounds included).
   analysis::CellAccumulator cells;
   /// True when the strategy declared convergence (returned an empty
   /// round) rather than hitting max_rounds / max_total_runs.
   bool converged = false;
+};
+
+/// One previously executed run fed back on resume: just the fields a
+/// Strategy's Observation needs, plus the full run name for drift
+/// detection (monitor::parse_record recovers exactly these from JSONL).
+struct ReplayRecord {
+  std::string name;  ///< full run name, including any name_prefix
+  bool ok = false;
+  std::uint64_t injections = 0;
+  std::uint64_t duplicates = 0;
+  analysis::ManifestationBreakdown manifestations;
+};
+
+/// Thrown when a replay does not match what the strategy re-derives —
+/// the spec changed since the checkpoint was written, or the JSONL was
+/// edited. Resuming anyway would splice two different campaigns.
+class ReplayMismatch : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 class Controller {
@@ -146,6 +177,15 @@ class Controller {
   /// outcome. The strategy is owned by the caller and can be inspected
   /// afterwards (e.g. BisectionStrategy::thresholds()).
   CampaignOutcome run(Strategy& strategy);
+
+  /// Resume: round `r` < replay.size() is NOT executed — the strategy's
+  /// requests are re-derived, verified name-by-name against replay[r]
+  /// (ReplayMismatch on any drift), and fed to observe() as if the round
+  /// had just run; execution picks up at round replay.size(). Because
+  /// strategies are pure functions of their observation history, the
+  /// continuation is byte-identical to the uninterrupted campaign.
+  CampaignOutcome run(Strategy& strategy,
+                      const std::vector<std::vector<ReplayRecord>>& replay);
 
   /// All fault × direction cells of the spec's plane, in the order
   /// strategies index them (fault-major).

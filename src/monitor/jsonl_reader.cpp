@@ -177,6 +177,19 @@ std::size_t JsonlTailer::poll(
     const std::function<void(const ParsedRecord&)>& deliver) {
   std::ifstream in(path_, std::ios::binary);
   if (!in) return 0;  // shard not started yet
+
+  // Truncation/rotation check: a file shorter than the saved offset is a
+  // new incarnation, not a continuation. Seeking blindly would park the
+  // cursor at EOF and the tailer would silently read nothing forever —
+  // and the torn-line carry from the old file must not be glued onto the
+  // new file's first line.
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::uint64_t>(in.tellg());
+  if (size < offset_) {
+    offset_ = 0;
+    partial_.clear();
+    ++truncations_;
+  }
   in.seekg(static_cast<std::streamoff>(offset_));
   if (!in) return 0;
 

@@ -57,9 +57,17 @@ class JsonlTailer {
   /// record, in file order. Returns the number delivered. Lines that fail
   /// to parse are counted in malformed() and dropped. A missing file is
   /// not an error (the shard may not have started yet) — returns 0.
+  /// A file shorter than the saved offset means the writer truncated or
+  /// rotated it: the tailer restarts from byte 0, drops the torn-line
+  /// carry from the old incarnation, and counts it in truncations().
   std::size_t poll(const std::function<void(const ParsedRecord&)>& deliver);
 
   [[nodiscard]] std::uint64_t malformed() const noexcept { return malformed_; }
+  /// Times the file shrank under the tailer (truncation or rotation-in-
+  /// place); each one restarted the offset so tailing resumed.
+  [[nodiscard]] std::uint64_t truncations() const noexcept {
+    return truncations_;
+  }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
@@ -67,6 +75,7 @@ class JsonlTailer {
   std::uint64_t offset_ = 0;
   std::string partial_;
   std::uint64_t malformed_ = 0;
+  std::uint64_t truncations_ = 0;
 };
 
 }  // namespace hsfi::monitor

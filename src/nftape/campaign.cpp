@@ -54,12 +54,13 @@ void CampaignRunner::settle_checked(sim::Duration span,
 }
 
 CampaignResult CampaignRunner::run(const CampaignSpec& spec,
-                                   const RunControl* control) {
+                                   const RunControl* control,
+                                   sim::Duration elapsed_before) {
   const std::uint64_t seed =
       spec.seed != 0 ? spec.seed : fabric_.base_seed();
   const std::uint64_t events_begin = fabric_.sim().executed_events();
   fabric_.reset_to_known_good(seed);
-  sim::Duration elapsed = 0;
+  sim::Duration elapsed = elapsed_before;
 
   // Manifestation monitoring: one analyzer per run, fed by every layer's
   // timestamp hooks. The guard detaches the hooks however the run ends so

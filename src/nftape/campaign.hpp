@@ -199,9 +199,14 @@ class CampaignRunner {
   /// Resets to the known good state, programs the fault, applies the
   /// workload for the measurement window, and collects the result.
   /// `control`, when given, is polled between simulation chunks and may
-  /// cancel the run (throws RunCancelled).
+  /// cancel the run (throws RunCancelled). `elapsed_before` is the
+  /// simulated time the caller already spent on this run before entering
+  /// the campaign (e.g. the orchestrator's startup settle): it seeds the
+  /// accumulator handed to should_cancel, so one watchdog budget covers
+  /// the whole run instead of resetting at the phase boundary.
   CampaignResult run(const CampaignSpec& spec,
-                     const RunControl* control = nullptr);
+                     const RunControl* control = nullptr,
+                     sim::Duration elapsed_before = 0);
 
   /// Cumulative across runs on this runner: one counter per manifestation
   /// class ("manifest.<class>"), "secondary_effects", and the

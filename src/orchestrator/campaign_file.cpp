@@ -1,0 +1,449 @@
+#include "orchestrator/campaign_file.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "fc/frame.hpp"
+#include "myrinet/control.hpp"
+#include "nftape/faults.hpp"
+#include "orchestrator/json_value.hpp"
+#include "sim/rng.hpp"
+
+namespace hsfi::orchestrator {
+
+namespace {
+
+using myrinet::ControlSymbol;
+
+[[noreturn]] void bail(const std::string& what) {
+  throw CampaignFileError("campaign file: " + what);
+}
+
+// ---------------------------------------------------------------------------
+// Typed field extraction with context-carrying errors.
+
+std::string field_str(const JsonValue& v, const std::string& ctx) {
+  if (v.kind != JsonValue::Kind::kString) bail(ctx + " must be a string");
+  return v.text;
+}
+
+double field_num(const JsonValue& v, const std::string& ctx) {
+  double out = 0;
+  if (!v.as_double(out)) bail(ctx + " must be a number");
+  return out;
+}
+
+std::uint64_t field_u64(const JsonValue& v, const std::string& ctx) {
+  std::uint64_t out = 0;
+  if (!v.as_u64(out)) bail(ctx + " must be a non-negative integer");
+  return out;
+}
+
+bool field_bool(const JsonValue& v, const std::string& ctx) {
+  if (v.kind != JsonValue::Kind::kBool) bail(ctx + " must be a boolean");
+  return v.boolean;
+}
+
+/// Millisecond / microsecond fields accept fractions; everything lands on
+/// the picosecond Duration grid via nanoseconds, so "0.5" ms is exact.
+sim::Duration field_ms(const JsonValue& v, const std::string& ctx) {
+  const double ms = field_num(v, ctx);
+  if (ms < 0) bail(ctx + " must be non-negative");
+  return sim::nanoseconds(std::llround(ms * 1e6));
+}
+
+sim::Duration field_us(const JsonValue& v, const std::string& ctx) {
+  const double us = field_num(v, ctx);
+  if (us <= 0) bail(ctx + " must be positive");
+  return sim::nanoseconds(std::llround(us * 1e3));
+}
+
+// ---------------------------------------------------------------------------
+// Target settings: the overlay applied defaults-then-target.
+
+struct GridPoint {
+  std::string name;
+  std::optional<sim::Duration> udp_interval;
+  std::optional<std::size_t> burst_size;
+  std::optional<std::size_t> payload_size;
+};
+
+struct TargetSettings {
+  std::optional<std::string> name;
+  std::optional<nftape::Medium> medium;
+  std::optional<std::vector<std::string>> faults;
+  std::optional<std::vector<FaultDirection>> directions;
+  std::optional<std::size_t> replicates;
+  std::optional<sim::Duration> duration, warmup, drain;
+  std::optional<sim::Duration> startup_settle, map_period;
+  std::optional<sim::Duration> udp_interval;
+  std::optional<std::size_t> burst_size, payload_size;
+  std::optional<double> jitter;
+  std::optional<bool> program_via_serial;
+  std::optional<std::vector<GridPoint>> grid;
+
+  /// Overlay: fields set in `over` replace this one's.
+  void apply(const TargetSettings& over) {
+    const auto take = [](auto& dst, const auto& src) {
+      if (src.has_value()) dst = src;
+    };
+    take(name, over.name);
+    take(medium, over.medium);
+    take(faults, over.faults);
+    take(directions, over.directions);
+    take(replicates, over.replicates);
+    take(duration, over.duration);
+    take(warmup, over.warmup);
+    take(drain, over.drain);
+    take(startup_settle, over.startup_settle);
+    take(map_period, over.map_period);
+    take(udp_interval, over.udp_interval);
+    take(burst_size, over.burst_size);
+    take(payload_size, over.payload_size);
+    take(jitter, over.jitter);
+    take(program_via_serial, over.program_via_serial);
+    take(grid, over.grid);
+  }
+};
+
+FaultDirection parse_direction(const std::string& s, const std::string& ctx) {
+  if (s == "to-switch") return FaultDirection::kToSwitch;
+  if (s == "from-switch") return FaultDirection::kFromSwitch;
+  if (s == "both") return FaultDirection::kBoth;
+  bail(ctx + ": unknown direction '" + s +
+       "' (want to-switch, from-switch, or both)");
+}
+
+GridPoint parse_grid_point(const JsonValue& v, const std::string& ctx) {
+  if (v.kind != JsonValue::Kind::kObject) bail(ctx + " must be an object");
+  GridPoint p;
+  for (const auto& [key, value] : v.fields) {
+    const std::string fctx = ctx + "." + key;
+    if (key == "name") {
+      p.name = field_str(value, fctx);
+    } else if (key == "udp_interval_us") {
+      p.udp_interval = field_us(value, fctx);
+    } else if (key == "burst_size") {
+      p.burst_size = static_cast<std::size_t>(field_u64(value, fctx));
+    } else if (key == "payload_size") {
+      p.payload_size = static_cast<std::size_t>(field_u64(value, fctx));
+    } else {
+      bail("unknown key '" + key + "' in " + ctx);
+    }
+  }
+  if (p.name.empty()) bail(ctx + " needs a non-empty \"name\"");
+  return p;
+}
+
+TargetSettings parse_target_settings(const JsonValue& v,
+                                     const std::string& ctx) {
+  if (v.kind != JsonValue::Kind::kObject) bail(ctx + " must be an object");
+  TargetSettings s;
+  for (const auto& [key, value] : v.fields) {
+    const std::string fctx = ctx + "." + key;
+    if (key == "name") {
+      s.name = field_str(value, fctx);
+    } else if (key == "medium") {
+      const std::string m = field_str(value, fctx);
+      const auto parsed = nftape::parse_medium(m);
+      if (!parsed) bail(fctx + ": unknown medium '" + m + "'");
+      s.medium = *parsed;
+    } else if (key == "faults") {
+      if (value.kind != JsonValue::Kind::kArray) {
+        bail(fctx + " must be an array of fault names");
+      }
+      std::vector<std::string> names;
+      for (const auto& item : value.items) {
+        names.push_back(field_str(item, fctx + "[]"));
+      }
+      if (names.empty()) bail(fctx + " must not be empty");
+      s.faults = std::move(names);
+    } else if (key == "directions") {
+      if (value.kind != JsonValue::Kind::kArray) {
+        bail(fctx + " must be an array of directions");
+      }
+      std::vector<FaultDirection> dirs;
+      for (const auto& item : value.items) {
+        dirs.push_back(parse_direction(field_str(item, fctx + "[]"), fctx));
+      }
+      if (dirs.empty()) bail(fctx + " must not be empty");
+      s.directions = std::move(dirs);
+    } else if (key == "replicates") {
+      const auto n = field_u64(value, fctx);
+      if (n == 0) bail(fctx + " must be positive");
+      s.replicates = static_cast<std::size_t>(n);
+    } else if (key == "duration_ms") {
+      s.duration = field_ms(value, fctx);
+    } else if (key == "warmup_ms") {
+      s.warmup = field_ms(value, fctx);
+    } else if (key == "drain_ms") {
+      s.drain = field_ms(value, fctx);
+    } else if (key == "startup_settle_ms") {
+      s.startup_settle = field_ms(value, fctx);
+    } else if (key == "map_period_ms") {
+      s.map_period = field_ms(value, fctx);
+    } else if (key == "udp_interval_us") {
+      s.udp_interval = field_us(value, fctx);
+    } else if (key == "burst_size") {
+      const auto n = field_u64(value, fctx);
+      if (n == 0) bail(fctx + " must be positive");
+      s.burst_size = static_cast<std::size_t>(n);
+    } else if (key == "payload_size") {
+      const auto n = field_u64(value, fctx);
+      if (n == 0) bail(fctx + " must be positive");
+      s.payload_size = static_cast<std::size_t>(n);
+    } else if (key == "jitter") {
+      const double j = field_num(value, fctx);
+      if (j < 0 || j > 1) bail(fctx + " must be in [0, 1]");
+      s.jitter = j;
+    } else if (key == "program_via_serial") {
+      s.program_via_serial = field_bool(value, fctx);
+    } else if (key == "grid") {
+      if (value.kind != JsonValue::Kind::kArray) {
+        bail(fctx + " must be an array of intensity points");
+      }
+      std::vector<GridPoint> grid;
+      for (std::size_t i = 0; i < value.items.size(); ++i) {
+        grid.push_back(parse_grid_point(
+            value.items[i], fctx + "[" + std::to_string(i) + "]"));
+      }
+      if (grid.empty()) bail(fctx + " must not be empty");
+      s.grid = std::move(grid);
+    } else {
+      bail("unknown key '" + key + "' in " + ctx);
+    }
+  }
+  return s;
+}
+
+StrategySpec parse_strategy(const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::kObject) bail("strategy must be an object");
+  StrategySpec s;
+  for (const auto& [key, value] : v.fields) {
+    const std::string fctx = "strategy." + key;
+    if (key == "name") {
+      s.name = field_str(value, fctx);
+    } else if (key == "knob") {
+      const std::string k = field_str(value, fctx);
+      const auto parsed = nftape::parse_knob(k);
+      if (!parsed) bail(fctx + ": unknown knob '" + k + "'");
+      s.knob = *parsed;
+    } else if (key == "axis_lo") {
+      s.axis_lo = field_num(value, fctx);
+    } else if (key == "axis_hi") {
+      s.axis_hi = field_num(value, fctx);
+    } else if (key == "tolerance_us") {
+      s.tolerance_us = field_num(value, fctx);
+      if (s.tolerance_us <= 0) bail(fctx + " must be positive");
+    } else if (key == "max_rounds") {
+      s.max_rounds = static_cast<std::uint32_t>(field_u64(value, fctx));
+    } else if (key == "target_count") {
+      s.target_count = field_u64(value, fctx);
+    } else {
+      bail("unknown key '" + key + "' in strategy");
+    }
+  }
+  if (s.name != "fixed" && s.name != "bisect" && s.name != "coverage") {
+    bail("strategy.name must be fixed, bisect, or coverage, got '" + s.name +
+         "'");
+  }
+  return s;
+}
+
+/// Resolves the overlaid settings into a runnable SweepSpec. The built-in
+/// base is the run_sweep CLI's long-standing sweep configuration, so a
+/// minimal spec file reproduces exactly what the flag-driven grid runs.
+CampaignTarget resolve_target(const TargetSettings& s, std::size_t ordinal,
+                              std::uint64_t file_seed) {
+  CampaignTarget target;
+  const nftape::Medium medium = s.medium.value_or(nftape::Medium::kMyrinet);
+  target.name = s.name.value_or(std::string(nftape::to_string(medium)));
+  if (target.name.empty() ||
+      target.name.find_first_of("/:") != std::string::npos) {
+    bail("target name '" + target.name +
+         "' must be non-empty without '/' or ':'");
+  }
+
+  SweepSpec& sweep = target.sweep;
+  sweep.name = target.name;
+  sweep.base.medium = medium;
+  // Disjoint per-target seed streams, independent of sharding.
+  sweep.base_seed = sim::derive_seed(file_seed, ordinal);
+  sweep.replicates = s.replicates.value_or(2);
+  sweep.directions = s.directions.value_or(std::vector<FaultDirection>{
+      FaultDirection::kFromSwitch, FaultDirection::kBoth});
+  sweep.startup_settle = s.startup_settle.value_or(0);
+
+  sweep.testbed.map_period = s.map_period.value_or(sim::milliseconds(100));
+  sweep.testbed.nic_config.rx_processing_time = sim::microseconds(1);
+  sweep.testbed.send_stack_time = sim::microseconds(1);
+  sweep.testbed.fc.rx_processing_time = sim::microseconds(1);
+
+  sweep.base.warmup = s.warmup.value_or(sim::milliseconds(10));
+  sweep.base.duration = s.duration.value_or(sim::milliseconds(60));
+  sweep.base.drain = s.drain.value_or(sim::milliseconds(10));
+  sweep.base.program_via_serial = s.program_via_serial.value_or(true);
+  sweep.base.workload.udp_interval =
+      s.udp_interval.value_or(sim::microseconds(12));
+  sweep.base.workload.burst_size = s.burst_size.value_or(4);
+  sweep.base.workload.payload_size = s.payload_size.value_or(256);
+  sweep.base.workload.jitter = s.jitter.value_or(0.5);
+
+  auto axis = standard_fault_axis(medium);
+  if (s.faults.has_value()) {
+    for (const auto& want : *s.faults) {
+      bool found = false;
+      for (auto& f : axis) {
+        if (f.name == want) {
+          sweep.faults.push_back(f);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        bail("target '" + target.name + "': unknown fault '" + want +
+             "' for medium " + std::string(nftape::to_string(medium)));
+      }
+    }
+  } else {
+    sweep.faults = std::move(axis);
+  }
+
+  if (s.grid.has_value()) {
+    for (const auto& g : *s.grid) {
+      IntensityPoint point;
+      point.name = g.name;
+      point.udp_interval =
+          g.udp_interval.value_or(sweep.base.workload.udp_interval);
+      point.burst_size = g.burst_size.value_or(sweep.base.workload.burst_size);
+      point.payload_size =
+          g.payload_size.value_or(sweep.base.workload.payload_size);
+      sweep.intensities.push_back(std::move(point));
+    }
+  }
+  return target;
+}
+
+}  // namespace
+
+std::vector<FaultPoint> standard_fault_axis(nftape::Medium medium) {
+  if (medium == nftape::Medium::kFc) {
+    return {
+        {"seu-00FF", nftape::random_bit_flip_seu(0x00FF)},
+        {"fill-flip", nftape::fc_fill_corruption(0x5A, 0x003F)},
+        {"comma-strike", nftape::fc_comma_strike(0x00FF)},
+        {"sofi3-blank",
+         nftape::fc_ordered_set_corruption(fc::OrderedSet::kSofI3, 0x000F)},
+        {"eoft-blank",
+         nftape::fc_ordered_set_corruption(fc::OrderedSet::kEofT, 0x000F)},
+        {"rrdy-drop",
+         nftape::fc_ordered_set_corruption(fc::OrderedSet::kRRdy, 0x000F)},
+        {"domain-ee", nftape::fc_domain_corruption(0xEE, 0x0003)},
+    };
+  }
+  const auto sym = [](ControlSymbol a, ControlSymbol b) {
+    return nftape::control_symbol_corruption(a, b);
+  };
+  return {
+      {"stop-idle", sym(ControlSymbol::kStop, ControlSymbol::kIdle)},
+      {"stop-gap", sym(ControlSymbol::kStop, ControlSymbol::kGap)},
+      {"stop-go", sym(ControlSymbol::kStop, ControlSymbol::kGo)},
+      {"gap-go", sym(ControlSymbol::kGap, ControlSymbol::kGo)},
+      {"gap-idle", sym(ControlSymbol::kGap, ControlSymbol::kIdle)},
+      {"go-stop", sym(ControlSymbol::kGo, ControlSymbol::kStop)},
+      {"marker-msb", nftape::marker_msb_corruption()},
+      {"seu-00FF", nftape::random_bit_flip_seu(0x00FF)},
+  };
+}
+
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+CampaignFile parse_campaign_file(std::string_view text) {
+  std::string error;
+  const auto doc = parse_json(text, &error);
+  if (!doc) bail(error);
+  if (doc->kind != JsonValue::Kind::kObject) {
+    bail("document must be an object");
+  }
+
+  CampaignFile file;
+  file.digest = fnv1a64(text);
+  TargetSettings defaults;
+  const JsonValue* targets = nullptr;
+  for (const auto& [key, value] : doc->fields) {
+    if (key == "name") {
+      file.name = field_str(value, "name");
+    } else if (key == "seed") {
+      file.base_seed = field_u64(value, "seed");
+    } else if (key == "checkpoint_batch") {
+      const auto n = field_u64(value, "checkpoint_batch");
+      if (n == 0) bail("checkpoint_batch must be positive");
+      file.checkpoint_batch = static_cast<std::size_t>(n);
+    } else if (key == "defaults") {
+      defaults = parse_target_settings(value, "defaults");
+      if (defaults.name.has_value() || defaults.grid.has_value()) {
+        bail("defaults cannot set name or grid (per-target only)");
+      }
+    } else if (key == "targets") {
+      targets = &value;
+    } else if (key == "strategy") {
+      file.strategy = parse_strategy(value);
+    } else {
+      bail("unknown key '" + key + "' at top level");
+    }
+  }
+  if (file.name.empty()) bail("\"name\" is required");
+  if (targets == nullptr || targets->kind != JsonValue::Kind::kArray ||
+      targets->items.empty()) {
+    bail("\"targets\" must be a non-empty array");
+  }
+  for (std::size_t i = 0; i < targets->items.size(); ++i) {
+    TargetSettings merged = defaults;
+    merged.apply(parse_target_settings(targets->items[i],
+                                       "targets[" + std::to_string(i) + "]"));
+    if (file.strategy.has_value() && merged.grid.has_value()) {
+      bail("targets cannot carry a grid when a strategy steers the campaign");
+    }
+    auto target = resolve_target(merged, i, file.base_seed);
+    for (const auto& existing : file.targets) {
+      if (existing.name == target.name) {
+        bail("duplicate target name '" + target.name + "'");
+      }
+    }
+    file.targets.push_back(std::move(target));
+  }
+  return file;
+}
+
+CampaignFile load_campaign_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) bail("cannot open '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_campaign_file(text.str());
+}
+
+std::vector<RunSpec> expand_campaign(const CampaignFile& file) {
+  std::vector<RunSpec> all;
+  for (const auto& target : file.targets) {
+    auto runs = expand(target.sweep);
+    const std::size_t offset = all.size();
+    for (auto& run : runs) {
+      run.index += offset;
+      run.campaign.name = target.name + ":" + run.campaign.name;
+      all.push_back(std::move(run));
+    }
+  }
+  return all;
+}
+
+}  // namespace hsfi::orchestrator

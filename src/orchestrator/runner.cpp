@@ -42,8 +42,11 @@ nftape::CampaignResult default_execute(const RunSpec& run,
     elapsed += step;
     left -= step;
   }
+  // Seed the campaign with the settle-phase elapsed so the watchdog sees
+  // one accumulator across both phases: a run livelocked astride the phase
+  // boundary must not get a second, fresh sim-time budget.
   nftape::CampaignRunner runner(*fabric);
-  return runner.run(run.campaign, &control);
+  return runner.run(run.campaign, &control, elapsed);
 }
 
 }  // namespace

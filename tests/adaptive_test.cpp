@@ -550,6 +550,104 @@ TEST(ControllerTest, MaxTotalRunsSkipsWholeRounds) {
 }
 
 // ---------------------------------------------------------------------------
+// Checkpoint replay: a resumed campaign re-derives the replayed rounds,
+// verifies them, and continues byte-identically — or refuses on drift.
+
+std::vector<std::vector<ReplayRecord>> replay_prefix(
+    const std::vector<orchestrator::RunRecord>& records, std::uint32_t rounds) {
+  std::vector<std::vector<ReplayRecord>> replay(rounds);
+  for (const auto& rec : records) {
+    if (rec.round >= rounds) continue;
+    ReplayRecord r;
+    r.name = rec.name;
+    r.ok = rec.outcome == orchestrator::RunOutcome::kOk;
+    r.injections = rec.result.injections;
+    r.duplicates = rec.result.duplicates();
+    r.manifestations = rec.result.manifestations;
+    replay[rec.round].push_back(std::move(r));
+  }
+  return replay;
+}
+
+CampaignOutcome run_bisect(const std::vector<std::vector<ReplayRecord>>& replay,
+                           std::size_t workers = 4) {
+  ControllerConfig config;
+  config.runner.workers = workers;
+  config.runner.executor = synthetic_executor;
+  Controller controller(controller_spec(), std::move(config));
+  BisectionConfig bc;
+  bc.lo = 12.0;
+  bc.hi = 396.0;
+  bc.tolerance = 12.0;
+  bc.higher_is_more_intense = false;
+  BisectionStrategy strategy(controller.cells(), bc);
+  return controller.run(strategy, replay);
+}
+
+TEST(ControllerReplayTest, ResumeContinuesByteIdentical) {
+  const auto full = run_bisect({});
+  ASSERT_GT(full.rounds, 2u);
+  ASSERT_FALSE(full.records.empty());
+
+  for (const std::uint32_t cut : {1u, 2u}) {
+    const auto replay = replay_prefix(full.records, cut);
+    std::size_t replayed = 0;
+    for (const auto& round : replay) replayed += round.size();
+
+    const auto resumed = run_bisect(replay, /*workers=*/1);
+    EXPECT_EQ(resumed.replayed, replayed);
+    EXPECT_EQ(resumed.rounds, full.rounds);
+    EXPECT_EQ(resumed.converged, full.converged);
+    // The executed tail is exactly the uninterrupted campaign's records
+    // past the cut, byte for byte.
+    ASSERT_EQ(resumed.records.size(), full.records.size() - replayed);
+    for (std::size_t i = 0; i < resumed.records.size(); ++i) {
+      EXPECT_EQ(orchestrator::to_jsonl(resumed.records[i]),
+                orchestrator::to_jsonl(full.records[replayed + i]));
+    }
+    // Replayed rounds still reach the accumulator.
+    ASSERT_EQ(resumed.cells.cells().size(), full.cells.cells().size());
+    for (const auto& [key, stats] : full.cells.cells()) {
+      const auto* got = resumed.cells.find(key);
+      ASSERT_NE(got, nullptr) << key;
+      EXPECT_EQ(got->runs, stats.runs) << key;
+      EXPECT_EQ(got->injections, stats.injections) << key;
+      EXPECT_EQ(got->manifestations.total(), stats.manifestations.total())
+          << key;
+    }
+  }
+}
+
+TEST(ControllerReplayTest, FullReplayExecutesNothing) {
+  const auto full = run_bisect({});
+  const auto resumed = run_bisect(replay_prefix(full.records, full.rounds));
+  EXPECT_TRUE(resumed.records.empty());
+  EXPECT_EQ(resumed.replayed, full.records.size());
+  EXPECT_EQ(resumed.rounds, full.rounds);
+  EXPECT_TRUE(resumed.converged);
+}
+
+TEST(ControllerReplayTest, DriftIsRefused) {
+  const auto full = run_bisect({});
+
+  // A record whose name does not match what the strategy re-derives: the
+  // spec changed since the checkpoint — splicing would mix two campaigns.
+  auto renamed = replay_prefix(full.records, 1);
+  renamed[0][0].name = "someone-else/both/i42.0/r0";
+  EXPECT_THROW((void)run_bisect(renamed), ReplayMismatch);
+
+  // A round with the wrong record count.
+  auto short_round = replay_prefix(full.records, 1);
+  short_round[0].pop_back();
+  EXPECT_THROW((void)run_bisect(short_round), ReplayMismatch);
+
+  // More durable rounds than the strategy re-derives (it converges first).
+  auto overlong = replay_prefix(full.records, full.rounds);
+  overlong.push_back(overlong.back());
+  EXPECT_THROW((void)run_bisect(overlong), ReplayMismatch);
+}
+
+// ---------------------------------------------------------------------------
 // nftape knobs: the scalar dials the strategies steer.
 
 TEST(KnobTest, NamesRoundTrip) {

@@ -593,6 +593,59 @@ TEST(JsonlReader, TailerFollowsAGrowingShardFile) {
   std::remove(path.c_str());
 }
 
+TEST(JsonlReader, TailerRecoversFromTruncationAndRotation) {
+  // Regression: poll() seeked to the saved offset with no check that the
+  // file shrank, so after log rotation/truncation the tailer sat at a
+  // phantom offset reading nothing forever — and the torn-line carry from
+  // the old incarnation was never cleared.
+  const std::string path =
+      testing::TempDir() + "hsfi_monitor_truncation_test.jsonl";
+  std::remove(path.c_str());
+
+  monitor::JsonlTailer tailer(path);
+  std::vector<monitor::ParsedRecord> seen;
+  const auto deliver = [&seen](const monitor::ParsedRecord& r) {
+    seen.push_back(r);
+  };
+
+  const std::string line0 = orchestrator::to_jsonl(synth_record(0, "f/both"));
+  const std::string line1 = orchestrator::to_jsonl(synth_record(1, "f/both"));
+  const std::string line2 = orchestrator::to_jsonl(synth_record(2, "f/both"));
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << line0 << '\n';
+    out << line1.substr(0, 20);  // torn carry at the moment of rotation
+  }
+  EXPECT_EQ(tailer.poll(deliver), 1u);
+  EXPECT_EQ(tailer.truncations(), 0u);
+
+  // Rotate: the writer truncates the file and starts a new log. The new
+  // first line begins with bytes that would NOT parse if the stale carry
+  // were glued in front of it.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << line2 << '\n';
+  }
+  EXPECT_EQ(tailer.poll(deliver), 1u) << "tailing must resume after rotation";
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[1].run, 2u);
+  EXPECT_EQ(tailer.truncations(), 1u);
+  EXPECT_EQ(tailer.malformed(), 0u)
+      << "the old file's torn carry must be dropped, not prepended";
+
+  // And appends to the rotated file keep flowing.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << line0 << '\n';
+  }
+  EXPECT_EQ(tailer.poll(deliver), 1u);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[2].run, 0u);
+  EXPECT_EQ(tailer.truncations(), 1u);
+
+  std::remove(path.c_str());
+}
+
 TEST(JsonlReader, ServiceIngestsTailedRecords) {
   // A full out-of-process loop: records -> JSONL -> service, and the
   // counters match the in-process fold (latency histograms are not in the

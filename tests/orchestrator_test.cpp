@@ -294,6 +294,53 @@ TEST(RunnerTest, SimulatedTimeCapCancelsARealCampaign) {
   EXPECT_EQ(records[0].attempts, 2);
 }
 
+TEST(RunnerTest, WatchdogBudgetSpansSettleAndCampaignPhases) {
+  // Regression: default_execute accumulated `elapsed` through the startup
+  // settle, then CampaignRunner::run restarted its own accumulator at 0 —
+  // so a run straddling the phase boundary got a fresh sim-time budget per
+  // phase and could consume ~2x sim_limit before the watchdog fired. Here
+  // each phase alone fits under the cap (settle 60 ms, campaign ~91 ms,
+  // cap 100 ms) but their sum does not: with one threaded accumulator the
+  // run must time out; with per-phase budgets it would complete.
+  auto sweep = small_sweep();
+  sweep.faults = {{"baseline", std::nullopt}};
+  sweep.replicates = 1;
+  sweep.startup_settle = milliseconds(60);
+  sweep.base.warmup = milliseconds(2);
+  sweep.base.duration = milliseconds(5);
+  sweep.base.drain = milliseconds(2);
+  RunnerConfig rc;
+  rc.workers = 1;
+  rc.sim_limit = milliseconds(100);
+  rc.poll_interval = milliseconds(5);
+  const auto records = Runner(rc).run_all(expand(sweep));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].outcome, RunOutcome::kTimedOut)
+      << "the settle phase must draw down the campaign phase's budget";
+  EXPECT_EQ(records[0].timeouts, records[0].attempts);
+}
+
+TEST(RunnerTest, CampaignRunnerHonorsPreCampaignElapsed) {
+  // The seam of the fix in isolation: CampaignRunner::run seeded with
+  // settle-phase elapsed just below the cap must cancel within the first
+  // poll chunks of the campaign instead of granting a fresh budget.
+  const auto sweep = small_sweep();
+  auto bed_config = sweep.testbed;
+  bed_config.seed = 1;
+  nftape::Testbed bed(bed_config);
+  bed.start();
+  nftape::CampaignRunner campaign(bed);
+  nftape::RunControl control;
+  control.poll_interval = milliseconds(5);
+  control.should_cancel = [](sim::Duration elapsed) {
+    return elapsed >= milliseconds(100);
+  };
+  auto spec = sweep.base;
+  spec.seed = 1;
+  EXPECT_THROW(campaign.run(spec, &control, /*elapsed_before=*/milliseconds(95)),
+               nftape::RunCancelled);
+}
+
 TEST(RunnerTest, ErrorOutcomeIsRetriedAndRecorded) {
   auto sweep = small_sweep();
   sweep.faults = {{"baseline", std::nullopt}};
