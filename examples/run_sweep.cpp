@@ -49,6 +49,13 @@ void usage(std::FILE* to = stdout) {
       to,
       "usage: run_sweep [options]\n"
       "  --workers N      worker threads (default: hardware concurrency)\n"
+      "  --snapshots on|off\n"
+      "                   snapshot/fork execution: each worker settles one\n"
+      "                   fabric per (topology, workload, medium) cell,\n"
+      "                   captures the settled state, and forks every run\n"
+      "                   of that cell from the snapshot instead of\n"
+      "                   re-simulating boot + mapping (default: off; the\n"
+      "                   JSONL records are byte-identical either way)\n"
       "  --seed S         base seed; per-run seeds derive from it (default 1)\n"
       "  --replicates R   seed replicates per grid point (default 2)\n"
       "  --duration-ms D  measurement window per run (default 60)\n"
@@ -197,6 +204,7 @@ struct SpecCli {
   std::string spec_path;
   std::string out_path;
   std::size_t workers = 0;
+  bool snapshots = false;
   bool timing = false;
   bool resume = false;
   bool dry_run = false;
@@ -260,6 +268,7 @@ int run_spec_static(const orchestrator::CampaignFile& file,
 
   orchestrator::RunnerConfig rc;
   rc.workers = cli.workers;
+  rc.snapshots = cli.snapshots;
   rc.on_progress = [](const orchestrator::Progress& p) {
     std::fprintf(stderr, "\r%zu/%zu done, %zu failed, %zu in flight   ",
                  p.completed + p.failed, p.total, p.failed, p.in_flight);
@@ -483,6 +492,7 @@ int run_spec_adaptive(const orchestrator::CampaignFile& file,
 
     adaptive::ControllerConfig cc;
     cc.runner.workers = cli.workers;
+    cc.runner.snapshots = cli.snapshots;
     const std::uint64_t replayed_rounds = replays[ti].size();
     cc.on_round = [&](const adaptive::RoundSummary& s) {
       std::fprintf(stderr, "%s round %u: %zu runs (%zu failed), %zu total\n",
@@ -610,6 +620,7 @@ int run_spec(const SpecCli& cli) {
 
 int main(int argc, char** argv) {
   std::size_t workers = 0;
+  bool snapshots = false;
   std::uint64_t seed = 1;
   std::size_t replicates = 2;
   long duration_ms = 60;
@@ -667,6 +678,20 @@ int main(int argc, char** argv) {
     };
     if (arg == "--workers") {
       workers = static_cast<std::size_t>(numeric());
+    } else if (arg == "--snapshots") {
+      // Execution knob like --workers (never changes the records), so it
+      // is allowed alongside --spec.
+      const std::string v = value();
+      if (v == "on") {
+        snapshots = true;
+      } else if (v == "off") {
+        snapshots = false;
+      } else {
+        std::fprintf(stderr, "--snapshots must be on or off, got '%s'\n\n",
+                     v.c_str());
+        usage(stderr);
+        return 1;
+      }
     } else if (arg == "--seed") {
       seed = static_cast<std::uint64_t>(numeric());
       grid_flags_used = true;
@@ -838,6 +863,7 @@ int main(int argc, char** argv) {
     }
     spec.out_path = out_path;
     spec.workers = workers;
+    spec.snapshots = snapshots;
     spec.timing = timing;
     spec.dry_run = dry_run;
     return run_spec(spec);
@@ -952,6 +978,7 @@ int main(int argc, char** argv) {
 
     adaptive::ControllerConfig cc;
     cc.runner.workers = workers;
+    cc.runner.snapshots = snapshots;
     cc.on_round = [](const adaptive::RoundSummary& s) {
       std::fprintf(stderr, "round %u: %zu runs (%zu failed), %zu total\n",
                    s.round, s.runs, s.failed, s.total_runs);
@@ -1059,6 +1086,7 @@ int main(int argc, char** argv) {
 
   orchestrator::RunnerConfig rc;
   rc.workers = workers;
+  rc.snapshots = snapshots;
   rc.on_progress = [](const orchestrator::Progress& p) {
     std::fprintf(stderr, "\r%zu/%zu done, %zu failed, %zu in flight   ",
                  p.completed + p.failed, p.total, p.failed, p.in_flight);

@@ -27,6 +27,8 @@ class CaptureBuffer {
     std::size_t pre_context = 16;   ///< characters kept before the event
     std::size_t post_context = 16;  ///< characters recorded after it
     std::size_t max_events = 32;    ///< completed events retained
+
+    bool operator==(const Params&) const = default;
   };
 
   struct Event {

@@ -87,6 +87,9 @@ class OutputGenerator {
 
   [[nodiscard]] std::uint64_t lines_emitted() const noexcept { return lines_; }
 
+  [[nodiscard]] std::uint64_t capture_state() const noexcept { return lines_; }
+  void restore_state(std::uint64_t lines) noexcept { lines_ = lines; }
+
  private:
   SpiEntity& spi_;
   std::uint64_t lines_ = 0;
@@ -108,6 +111,17 @@ class CommandDecoder {
   void feed(std::uint8_t byte);
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Snapshot state: the partial command line and counters.
+  struct State {
+    std::string line;
+    Stats stats;
+  };
+  [[nodiscard]] State capture_state() const { return State{line_, stats_}; }
+  void restore_state(const State& state) {
+    line_ = state.line;
+    stats_ = state.stats;
+  }
 
  private:
   void execute(const std::string& line);
@@ -162,16 +176,39 @@ class SerialControlHost {
     return queue_.empty() && !in_flight_;
   }
 
+  struct PendingCommand {
+    std::string line;
+    Callback callback;
+  };
+
+  /// Snapshot state. Captured at quiescent settle boundaries the queue is
+  /// empty; pending callbacks (if any) are copied as-is, so capture while a
+  /// campaign's fault programming is in flight is not supported.
+  struct State {
+    std::vector<PendingCommand> queue;
+    bool in_flight = false;
+    std::string rx_line;
+    std::vector<std::string> rx_lines;
+    std::uint64_t completed = 0;
+  };
+
+  [[nodiscard]] State capture_state() const {
+    return State{queue_, in_flight_, rx_line_, rx_lines_, completed_};
+  }
+  void restore_state(const State& state) {
+    queue_ = state.queue;
+    in_flight_ = state.in_flight;
+    rx_line_ = state.rx_line;
+    rx_lines_ = state.rx_lines;
+    completed_ = state.completed;
+  }
+
  private:
   void pump();
   void on_byte(std::uint8_t byte);
 
   sim::Simulator& simulator_;
   Uart& uart_;
-  struct PendingCommand {
-    std::string line;
-    Callback callback;
-  };
   std::vector<PendingCommand> queue_;
   bool in_flight_ = false;
   std::string rx_line_;

@@ -168,4 +168,28 @@ void InjectorDevice::clear_stats() {
   }
 }
 
+InjectorDevice::State InjectorDevice::capture_state() const {
+  State state;
+  for (std::size_t i = 0; i < pipes_.size(); ++i) {
+    const Pipeline& pipe = *pipes_[i];
+    state.pipes[i].fifo = pipe.fifo;
+    state.pipes[i].repatch = pipe.repatch;
+    state.pipes[i].capture = pipe.capture;
+    state.pipes[i].stats = pipe.stats.capture_state();
+    state.pipes[i].drain_event = pipe.drain_event;
+  }
+  return state;
+}
+
+void InjectorDevice::restore_state(const State& state) {
+  for (std::size_t i = 0; i < pipes_.size(); ++i) {
+    Pipeline& pipe = *pipes_[i];
+    pipe.fifo = state.pipes[i].fifo;
+    pipe.repatch = state.pipes[i].repatch;
+    pipe.capture = state.pipes[i].capture;
+    pipe.stats.restore_state(state.pipes[i].stats);
+    pipe.drain_event = state.pipes[i].drain_event;
+  }
+}
+
 }  // namespace hsfi::core

@@ -51,6 +51,8 @@ class InjectorDevice {
     CaptureBuffer::Params capture = {};
     /// Character period of the attached network (drain-clock pacing).
     sim::Duration character_period = sim::picoseconds(12'500);
+
+    bool operator==(const Config&) const = default;
   };
 
   InjectorDevice(sim::Simulator& simulator, std::string name, Config config);
@@ -97,6 +99,26 @@ class InjectorDevice {
   /// manifestation analyzer correlates downstream effects against.
   using InjectionHook = std::function<void(Direction, sim::SimTime)>;
   void set_injection_hook(InjectionHook hook);
+
+  /// Snapshot state, one entry per direction. FIFO/repatch/capture are
+  /// plain value types and are copied whole; the stream monitor is captured
+  /// data-only (its deframer handlers bind the owning instance). The drain
+  /// EventId stays valid across a fork because the simulator restores queue
+  /// slots/generations verbatim. The injection hook is per-run monitor
+  /// wiring, not state.
+  struct State {
+    struct PipeState {
+      FifoInjector fifo;
+      CrcRepatcher repatch;
+      CaptureBuffer capture;
+      StreamStats::State stats;
+      sim::EventId drain_event = sim::kInvalidEventId;
+    };
+    std::array<PipeState, 2> pipes;
+  };
+
+  [[nodiscard]] State capture_state() const;
+  void restore_state(const State& state);
 
  private:
   struct Pipeline;

@@ -44,6 +44,8 @@ class FifoInjector {
     std::size_t latency_chars = 20;
     /// Dual-port RAM capacity in characters (fidelity bound only).
     std::size_t fifo_capacity = 64;
+
+    bool operator==(const Params&) const = default;
   };
 
   struct Stats {

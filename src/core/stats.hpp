@@ -57,6 +57,24 @@ class StreamStats {
   /// Serial "STAT" readout.
   [[nodiscard]] std::string render() const;
 
+  /// Data-only snapshot state. The deframer's handlers bind `this` in the
+  /// constructor and must never be copied between instances, so the state
+  /// carries the deframer's data, not the deframer.
+  struct State {
+    myrinet::Deframer::State deframer;
+    Counters counters;
+    std::map<PairKey, std::uint64_t> pairs;
+  };
+
+  [[nodiscard]] State capture_state() const {
+    return State{deframer_.capture_state(), counters_, pairs_};
+  }
+  void restore_state(const State& state) {
+    deframer_.restore_state(state.deframer);
+    counters_ = state.counters;
+    pairs_ = state.pairs;
+  }
+
  private:
   void on_frame(const std::vector<std::uint8_t>& frame);
 

@@ -79,6 +79,27 @@ class Uart {
     return to_host_;
   }
 
+  /// Snapshot state: serialization horizons and byte counters (handlers are
+  /// wiring and stay attached; in-flight bytes ride in the simulator queue).
+  struct State {
+    bool configured = false;
+    sim::SimTime rx_free_at = 0;
+    sim::SimTime tx_free_at = 0;
+    std::uint64_t to_fpga = 0;
+    std::uint64_t to_host = 0;
+  };
+
+  [[nodiscard]] State capture_state() const noexcept {
+    return State{configured_, rx_free_at_, tx_free_at_, to_fpga_, to_host_};
+  }
+  void restore_state(const State& state) noexcept {
+    configured_ = state.configured;
+    rx_free_at_ = state.rx_free_at;
+    tx_free_at_ = state.tx_free_at;
+    to_fpga_ = state.to_fpga;
+    to_host_ = state.to_host;
+  }
+
  private:
   sim::Simulator& simulator_;
   Config config_;

@@ -59,6 +59,27 @@ class FcFabric {
   [[nodiscard]] std::size_t num_ports() const noexcept { return ports_.size(); }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
+  /// Snapshot state: per-port state plus forwarding counters. Routes are
+  /// topology (static after construction) and are not captured.
+  struct State {
+    std::vector<FcPort::State> ports;
+    Stats stats;
+  };
+
+  [[nodiscard]] State capture_state() const {
+    State state;
+    state.ports.reserve(ports_.size());
+    for (const auto& p : ports_) state.ports.push_back(p->capture_state());
+    state.stats = stats_;
+    return state;
+  }
+  void restore_state(const State& state) {
+    for (std::size_t i = 0; i < ports_.size(); ++i) {
+      ports_[i]->restore_state(state.ports[i]);
+    }
+    stats_ = state.stats;
+  }
+
  private:
   void forward(FcFrame frame, sim::SimTime when);
 

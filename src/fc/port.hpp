@@ -97,6 +97,53 @@ class FcPort final : public link::SymbolSink {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
+  /// Snapshot state: credit count, transmit cursor, half-parsed receive
+  /// state, and counters. EventIds stay valid across a fabric fork (the
+  /// simulator restores queue slots/generations verbatim); frame/event
+  /// handlers are per-run wiring and stay attached.
+  struct State {
+    std::deque<std::vector<link::Symbol>> tx_queue;
+    std::vector<link::Symbol> tx_current;
+    std::size_t tx_offset = 0;
+    std::size_t credits = 0;
+    bool tx_pump_scheduled = false;
+    bool stalled_reported = false;
+    sim::EventId credit_recovery_event = sim::kInvalidEventId;
+    std::vector<Char8> set_accum;
+    bool in_frame = false;
+    OrderedSet sof_seen = OrderedSet::kSofI3;
+    std::vector<std::uint8_t> body;
+    std::deque<FcFrame> rx_buffers;
+    bool rx_drain_scheduled = false;
+    Stats stats;
+  };
+
+  [[nodiscard]] State capture_state() const {
+    return State{tx_queue_,  tx_current_,
+                 tx_offset_, credits_,
+                 tx_pump_scheduled_,    stalled_reported_,
+                 credit_recovery_event_, set_accum_,
+                 in_frame_,  sof_seen_,
+                 body_,      rx_buffers_,
+                 rx_drain_scheduled_,    stats_};
+  }
+  void restore_state(const State& state) {
+    tx_queue_ = state.tx_queue;
+    tx_current_ = state.tx_current;
+    tx_offset_ = state.tx_offset;
+    credits_ = state.credits;
+    tx_pump_scheduled_ = state.tx_pump_scheduled;
+    stalled_reported_ = state.stalled_reported;
+    credit_recovery_event_ = state.credit_recovery_event;
+    set_accum_ = state.set_accum;
+    in_frame_ = state.in_frame;
+    sof_seen_ = state.sof_seen;
+    body_ = state.body;
+    rx_buffers_ = state.rx_buffers;
+    rx_drain_scheduled_ = state.rx_drain_scheduled;
+    stats_ = state.stats;
+  }
+
   // link::SymbolSink
   void on_burst(const link::Burst& burst) override;
 

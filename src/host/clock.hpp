@@ -22,6 +22,8 @@ class HostClock {
     /// Timer/interrupt granularity (1.19 MHz PIT-era PCs ticked near 1 us
     /// once scaled; SPARCstations similar).
     sim::Duration tick = sim::microseconds(1);
+
+    bool operator==(const Params&) const = default;
   };
 
   HostClock(Params params, std::uint64_t boot_seed)

@@ -27,6 +27,7 @@
 #include "host/udp.hpp"
 #include "myrinet/host_iface.hpp"
 #include "myrinet/mcp.hpp"
+#include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
 namespace hsfi::host {
@@ -112,9 +113,51 @@ class Host {
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   void clear_stats() noexcept { stats_ = Stats{}; }
 
-  /// Rewinds the per-host RNG streams (currently the MCP's) to their
-  /// construction state for seed value `seed`; see Mcp::reseed.
-  void reseed(std::uint64_t seed) noexcept { mcp_->reseed(seed); }
+  /// Rewinds every per-host seed-derived stream to the state a freshly
+  /// constructed host with `seed` would have: the MCP's RNG (Mcp::reseed),
+  /// the host clock phase, and the per-boot stack offset. Re-deriving the
+  /// latter two with the constructor's exact formulas makes the call a
+  /// no-op on a cold-started testbed and seed-corrects a forked one, so
+  /// snapshot/fork campaigns stay byte-identical to cold starts even with
+  /// a nonzero boot_offset_span or clock tick.
+  void reseed(std::uint64_t seed) noexcept {
+    mcp_->reseed(seed);
+    clock_ = HostClock(config_.clock, seed);
+    boot_offset_ = 0;
+    if (config_.boot_offset_span > 0) {
+      sim::Rng rng(seed, 0xb007ULL);
+      boot_offset_ = static_cast<sim::Duration>(
+          rng.range(0, config_.boot_offset_span - 1));
+    }
+  }
+
+  /// Snapshot state for fabric forks. Bound sockets are captured (their
+  /// handlers reference this host or its workload driver, both of which
+  /// outlive the snapshot within a campaign); the drop hook is per-run
+  /// monitor wiring and is deliberately NOT part of the state.
+  struct State {
+    HostClock clock{HostClock::Params{}, 0};
+    sim::Duration boot_offset = 0;
+    myrinet::Mcp::State mcp;
+    std::map<HostId, myrinet::EthAddr> peers;
+    std::map<std::uint16_t, UdpHandler> sockets;
+    sim::SimTime stack_free_at = 0;
+    Stats stats;
+  };
+
+  [[nodiscard]] State capture_state() const {
+    return State{clock_,   boot_offset_,   mcp_->capture_state(), peers_,
+                 sockets_, stack_free_at_, stats_};
+  }
+  void restore_state(const State& state) {
+    clock_ = state.clock;
+    boot_offset_ = state.boot_offset;
+    mcp_->restore_state(state.mcp);
+    peers_ = state.peers;
+    sockets_ = state.sockets;
+    stack_free_at_ = state.stack_free_at;
+    stats_ = state.stats;
+  }
 
   [[nodiscard]] myrinet::Mcp& mcp() noexcept { return *mcp_; }
   [[nodiscard]] const myrinet::Mcp& mcp() const noexcept { return *mcp_; }

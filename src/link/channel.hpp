@@ -100,6 +100,28 @@ class Channel {
     return pool_;
   }
 
+  /// Mutable channel state for fabric snapshots. In-flight bursts live in
+  /// the simulator queue (delivery lambdas own their symbol vectors by
+  /// value), so the channel itself only carries the transmitter horizon and
+  /// counters. The buffer pool is deliberately excluded: it only affects
+  /// allocation reuse, never delivery order or timing.
+  struct State {
+    sim::SimTime tx_free_at = 0;
+    std::uint64_t symbols_sent = 0;
+    std::uint64_t symbols_lost = 0;
+    bool connected = true;
+  };
+
+  [[nodiscard]] State capture_state() const noexcept {
+    return State{tx_free_at_, symbols_sent_, symbols_lost_, connected_};
+  }
+  void restore_state(const State& state) noexcept {
+    tx_free_at_ = state.tx_free_at;
+    symbols_sent_ = state.symbols_sent;
+    symbols_lost_ = state.symbols_lost;
+    connected_ = state.connected;
+  }
+
  private:
   sim::Simulator& simulator_;
   std::string name_;

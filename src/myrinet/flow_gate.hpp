@@ -48,6 +48,27 @@ class FlowGate {
     return timeout_resumes_;
   }
 
+  /// Snapshot state. The timeout EventId stays valid across a fabric fork
+  /// because the simulator restores queue slots and generations verbatim.
+  struct State {
+    bool open = true;
+    sim::EventId timeout_event = sim::kInvalidEventId;
+    std::uint64_t stops = 0;
+    std::uint64_t gos = 0;
+    std::uint64_t timeout_resumes = 0;
+  };
+
+  [[nodiscard]] State capture_state() const noexcept {
+    return State{open_, timeout_event_, stops_, gos_, timeout_resumes_};
+  }
+  void restore_state(const State& state) noexcept {
+    open_ = state.open;
+    timeout_event_ = state.timeout_event;
+    stops_ = state.stops;
+    gos_ = state.gos;
+    timeout_resumes_ = state.timeout_resumes;
+  }
+
  private:
   void arm_timeout();
   void disarm_timeout();

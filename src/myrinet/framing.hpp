@@ -50,6 +50,24 @@ class Deframer {
     return ignored_;
   }
 
+  /// Data-only snapshot state for fabric forks: the partial frame and the
+  /// counters. Handlers are wiring, not state — they stay attached across
+  /// restore (they bind the owning entity, which outlives the snapshot).
+  struct State {
+    std::vector<std::uint8_t> current;
+    std::uint64_t frames = 0;
+    std::uint64_t ignored = 0;
+  };
+
+  [[nodiscard]] State capture_state() const {
+    return State{current_, frames_, ignored_};
+  }
+  void restore_state(const State& state) {
+    current_ = state.current;
+    frames_ = state.frames;
+    ignored_ = state.ignored;
+  }
+
  private:
   std::vector<std::uint8_t> current_;
   FrameHandler frame_handler_;

@@ -41,6 +41,8 @@ class HostInterface final : public link::SymbolSink {
     std::size_t max_tx_ahead_chars = 64;
     /// Host-side cost to consume one received frame (interrupt + stack).
     sim::Duration rx_processing_time = sim::microseconds(20);
+
+    bool operator==(const Config&) const = default;
   };
 
   struct Stats {
@@ -96,6 +98,41 @@ class HostInterface final : public link::SymbolSink {
 
   /// Resets counters and queues to a known-good state between campaign runs.
   void reset_for_campaign();
+
+  /// Snapshot state: both pump flags and the in-flight serialization cursor
+  /// are included because the matching pump events sit in the simulator
+  /// queue and are restored with it. Handlers (deliver/rx-error) are wiring
+  /// and stay attached.
+  struct State {
+    FlowGate::State gate;
+    Deframer::State deframer;
+    std::deque<std::vector<std::uint8_t>> tx_queue;
+    std::vector<link::Symbol> tx_current;
+    std::size_t tx_offset = 0;
+    bool tx_pump_scheduled = false;
+    std::deque<Delivered> rx_ring;
+    bool rx_drain_scheduled = false;
+    Stats stats;
+  };
+
+  [[nodiscard]] State capture_state() const {
+    return State{gate_.capture_state(), deframer_.capture_state(),
+                 tx_queue_,  tx_current_,
+                 tx_offset_, tx_pump_scheduled_,
+                 rx_ring_,   rx_drain_scheduled_,
+                 stats_};
+  }
+  void restore_state(const State& state) {
+    gate_.restore_state(state.gate);
+    deframer_.restore_state(state.deframer);
+    tx_queue_ = state.tx_queue;
+    tx_current_ = state.tx_current;
+    tx_offset_ = state.tx_offset;
+    tx_pump_scheduled_ = state.tx_pump_scheduled;
+    rx_ring_ = state.rx_ring;
+    rx_drain_scheduled_ = state.rx_drain_scheduled;
+    stats_ = state.stats;
+  }
 
   // link::SymbolSink
   void on_burst(const link::Burst& burst) override;

@@ -135,6 +135,38 @@ class Mcp {
     rng_ = sim::Rng(seed, config_.address);
   }
 
+  /// Snapshot state. The RNG stream is included so a fork resumes the exact
+  /// stream position — reseed() then rewinds it per-run, the same call a
+  /// cold start makes. Round events (begin/finish) are self-rescheduling
+  /// lambdas restored with the simulator queue.
+  struct State {
+    sim::Rng rng{0};
+    NetworkMap map;
+    sim::SimTime suppressed_until = -1;
+    bool round_open = false;
+    NetworkMap collected;
+    bool duplicate_controller_seen = false;
+    sim::SimTime last_install = -1;
+    Stats stats;
+  };
+
+  [[nodiscard]] State capture_state() const {
+    return State{rng_,        map_,
+                 suppressed_until_, round_open_,
+                 collected_,  duplicate_controller_seen_,
+                 last_install_,     stats_};
+  }
+  void restore_state(const State& state) {
+    rng_ = state.rng;
+    map_ = state.map;
+    suppressed_until_ = state.suppressed_until;
+    round_open_ = state.round_open;
+    collected_ = state.collected;
+    duplicate_controller_seen_ = state.duplicate_controller_seen;
+    last_install_ = state.last_install;
+    stats_ = state.stats;
+  }
+
  private:
   void begin_round();
   void finish_round();

@@ -34,6 +34,8 @@ class SlackBuffer {
     /// character periods after the last STOP, so the refresh must be
     /// shorter than that. 0 disables refresh (flow-control ablation).
     sim::Duration stop_refresh = sim::nanoseconds(100);  // 8 chars @ 80 MB/s
+
+    bool operator==(const Config&) const = default;
   };
 
   /// `send_flow` transmits a flow-control symbol on the reverse channel.
@@ -65,6 +67,25 @@ class SlackBuffer {
   using Probe = std::function<void(sim::SimTime when, std::size_t occupancy,
                                    std::optional<ControlSymbol> emitted)>;
   void set_probe(Probe probe) { probe_ = std::move(probe); }
+
+  /// Snapshot state (refresh EventId stays valid across a fabric fork —
+  /// the simulator restores queue slots/generations verbatim).
+  struct State {
+    std::deque<link::Symbol> queue;
+    bool stopping = false;
+    sim::EventId refresh_event = sim::kInvalidEventId;
+    std::uint64_t drops = 0;
+  };
+
+  [[nodiscard]] State capture_state() const {
+    return State{queue_, stopping_, refresh_event_, drops_};
+  }
+  void restore_state(const State& state) {
+    queue_ = state.queue;
+    stopping_ = state.stopping;
+    refresh_event_ = state.refresh_event;
+    drops_ = state.drops;
+  }
 
  private:
   void after_occupancy_change();

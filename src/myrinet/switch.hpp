@@ -50,6 +50,8 @@ class Switch {
     /// Cap on data queued into an output channel ahead of real time, in
     /// characters; bounds how long a STOP takes to actually halt the wire.
     std::size_t max_tx_ahead_chars = 64;
+
+    bool operator==(const Config&) const = default;
   };
 
   struct PortStats {
@@ -96,6 +98,33 @@ class Switch {
   void on_port_event(PortEventHandler handler) {
     port_event_ = std::move(handler);
   }
+
+  /// Snapshot state: per-port routing FSM, slack/gate state, arbitration,
+  /// and counters. The batch pool and the working pump batch are excluded —
+  /// the batch is only live inside pump(), and pool contents never affect
+  /// delivery order. EventIds stay valid across a fork (the simulator
+  /// restores queue slots/generations verbatim).
+  struct State {
+    struct PortState {
+      SlackBuffer::State slack;
+      FlowGate::State gate;
+      std::uint8_t in_state = 0;  ///< InState, stored flat
+      std::size_t out_port = 0;
+      std::optional<std::uint8_t> held;
+      Crc8 crc_in;
+      Crc8 crc_out;
+      sim::EventId long_timeout_event = sim::kInvalidEventId;
+      std::size_t owner_input = static_cast<std::size_t>(-1);
+      std::deque<std::size_t> waiters;
+      std::size_t pending_chars = 0;
+      bool pump_scheduled = false;
+      PortStats stats;
+    };
+    std::vector<PortState> ports;
+  };
+
+  [[nodiscard]] State capture_state() const;
+  void restore_state(const State& state);
 
  private:
   struct Port;

@@ -79,7 +79,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
                         spec.fault_from_switch.value_or(off),
                         spec.program_via_serial);
   // Let the serial exchange (and anything in flight) finish.
-  settle_checked(sim::milliseconds(30), control, &elapsed);
+  settle_checked(spec.program_guard, control, &elapsed);
 
   // Workload: every node floods its peers; every node sinks the port.
   fabric_.start_workload(spec.workload, seed, analyzer);
@@ -97,7 +97,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
   // to recover so the next campaign starts from a known good state even if
   // this fault damaged routing or flow-control state.
   fabric_.disarm_faults(spec.program_via_serial);
-  settle_checked(sim::milliseconds(30), control, &elapsed);
+  settle_checked(spec.disarm_guard, control, &elapsed);
   settle_checked(fabric_.recovery_time(), control, &elapsed);
 
   CampaignResult r;

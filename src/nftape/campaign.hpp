@@ -65,6 +65,13 @@ struct CampaignSpec {
   sim::Duration warmup = sim::milliseconds(20);
   sim::Duration duration = sim::milliseconds(1000);
   sim::Duration drain = sim::milliseconds(20);
+  /// Settle after programming the fault, covering the serial exchange (and
+  /// anything else in flight) before the workload starts. Part of the spec
+  /// so watchdog budgets and snapshot capture see the same value the run
+  /// actually spends — both guards count against the RunControl budget.
+  sim::Duration program_guard = sim::milliseconds(30);
+  /// Settle after disarming, before the medium's recovery settle.
+  sim::Duration disarm_guard = sim::milliseconds(30);
   WorkloadSpec workload;
   /// Seed for everything stochastic in this run: the workload generators and
   /// the per-host RNG streams reset by `Testbed::reset_to_known_good`. With

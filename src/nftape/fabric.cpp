@@ -230,4 +230,21 @@ sim::Duration MyrinetFabric::recovery_time() const {
   return bed_.config().map_period + bed_.config().map_reply_window;
 }
 
+namespace {
+/// The Myrinet fabric's snapshot payload: the whole settled Testbed.
+struct MyrinetSnapshot final : FabricSnapshot {
+  Testbed::State state;
+};
+}  // namespace
+
+std::unique_ptr<FabricSnapshot> MyrinetFabric::capture_snapshot() {
+  auto snap = std::make_unique<MyrinetSnapshot>();
+  snap->state = bed_.capture_state();
+  return snap;
+}
+
+void MyrinetFabric::restore_snapshot(const FabricSnapshot& snap) {
+  bed_.restore_state(static_cast<const MyrinetSnapshot&>(snap).state);
+}
+
 }  // namespace hsfi::nftape

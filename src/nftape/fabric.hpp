@@ -49,6 +49,16 @@ struct FabricCounters {
   std::uint64_t sequences_aborted = 0;  ///< FC-2 sequence aborts/rejections
 };
 
+/// Opaque capture of a settled fabric: the simulator event queue plus every
+/// model layer's mutable state, taken at a quiescent settle boundary (after
+/// start() + settle(startup)). Implementations subclass this with their
+/// layer states; restore_snapshot() downcasts back. One snapshot can seed
+/// any number of forked runs — restore is non-destructive.
+class FabricSnapshot {
+ public:
+  virtual ~FabricSnapshot() = default;
+};
+
 /// One network under test with the injector spliced into one link.
 ///
 /// Lifecycle, as CampaignRunner drives it (the order is part of the
@@ -58,6 +68,14 @@ struct FabricCounters {
 /// attach_monitors, program_fault x2, start_workload, snapshot window,
 /// stop_workload, disarm_faults, settle(recovery_time), detach_monitors,
 /// clear_workload.
+///
+/// Snapshot/fork: capture_snapshot() after the startup settle freezes the
+/// whole settled state; restore_snapshot() rewinds a fabric of identical
+/// construction parameters back to it, so each campaign run forks from the
+/// settle boundary instead of re-simulating boot + mapping. Per-run state
+/// (workload objects, monitor hooks, RNG streams) is re-derived afterwards
+/// by the usual reset_to_known_good(seed) call, which is what makes a
+/// forked run byte-identical to a cold-started one.
 class Fabric {
  public:
   virtual ~Fabric() = default;
@@ -107,6 +125,18 @@ class Fabric {
   /// How long after disarming the medium needs to re-reach the known good
   /// state (Myrinet: one mapping round; FC: in-flight drain).
   [[nodiscard]] virtual sim::Duration recovery_time() const = 0;
+
+  /// Captures the full settled state (simulator + every model layer). Call
+  /// only at a quiescent settle boundary — never with a workload or serial
+  /// command in flight. Returns nullptr when the fabric does not support
+  /// snapshots (callers must fall back to cold starts).
+  [[nodiscard]] virtual std::unique_ptr<FabricSnapshot> capture_snapshot() {
+    return nullptr;
+  }
+  /// Rewinds this fabric to `snap` (which must come from a fabric built
+  /// with identical construction parameters — same TestbedConfig modulo
+  /// seed, which reset_to_known_good re-derives per run).
+  virtual void restore_snapshot(const FabricSnapshot& snap) { (void)snap; }
 };
 
 /// The Fig. 10 Myrinet testbed behind the Fabric interface. The campaign
@@ -145,6 +175,8 @@ class MyrinetFabric final : public Fabric {
   void clear_workload() override;
   [[nodiscard]] FabricCounters snapshot() const override;
   [[nodiscard]] sim::Duration recovery_time() const override;
+  [[nodiscard]] std::unique_ptr<FabricSnapshot> capture_snapshot() override;
+  void restore_snapshot(const FabricSnapshot& snap) override;
 
  private:
   std::unique_ptr<Testbed> owned_;

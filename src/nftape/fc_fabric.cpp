@@ -389,6 +389,82 @@ sim::Duration FcFabric::recovery_time() const {
   return sim::milliseconds(5);
 }
 
+namespace {
+/// The FC fabric's snapshot payload. Workload state (floods, reassemblers)
+/// is per-run and empty at the quiescent settle boundary where snapshots
+/// are taken; per-node delivered counters ride along for completeness.
+struct FcSnapshot final : FabricSnapshot {
+  struct NodeState {
+    link::Channel::State cable_a2b;
+    link::Channel::State cable_b2a;
+    link::Channel::State cable2_a2b;
+    link::Channel::State cable2_b2a;
+    fc::FcPort::State port;
+    std::uint64_t delivered = 0;
+  };
+  sim::Simulator::Snapshot sim;
+  fc::FcFabric::State element;
+  std::vector<NodeState> nodes;
+  core::InjectorDevice::State injector;
+  core::Uart::State uart;
+  core::CommandDecoder::State decoder;
+  std::uint64_t output_lines = 0;
+  core::SerialControlHost::State control;
+};
+}  // namespace
+
+std::unique_ptr<FabricSnapshot> FcFabric::capture_snapshot() {
+  auto snap = std::make_unique<FcSnapshot>();
+  snap->sim = sim_.snapshot();
+  snap->element = element_->capture_state();
+  snap->nodes.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    FcSnapshot::NodeState ns;
+    ns.cable_a2b = node->cable->a_to_b().capture_state();
+    ns.cable_b2a = node->cable->b_to_a().capture_state();
+    if (node->cable2) {
+      ns.cable2_a2b = node->cable2->a_to_b().capture_state();
+      ns.cable2_b2a = node->cable2->b_to_a().capture_state();
+    }
+    ns.port = node->port->capture_state();
+    ns.delivered = node->delivered;
+    snap->nodes.push_back(std::move(ns));
+  }
+  if (injector_) {
+    snap->injector = injector_->capture_state();
+    snap->uart = uart_->capture_state();
+    snap->decoder = comm_->decoder().capture_state();
+    snap->output_lines = comm_->output().capture_state();
+    snap->control = control_->capture_state();
+  }
+  return snap;
+}
+
+void FcFabric::restore_snapshot(const FabricSnapshot& base) {
+  const auto& snap = static_cast<const FcSnapshot&>(base);
+  sim_.restore(snap.sim);
+  element_->restore_state(snap.element);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto& node = *nodes_[i];
+    const auto& ns = snap.nodes.at(i);
+    node.cable->a_to_b().restore_state(ns.cable_a2b);
+    node.cable->b_to_a().restore_state(ns.cable_b2a);
+    if (node.cable2) {
+      node.cable2->a_to_b().restore_state(ns.cable2_a2b);
+      node.cable2->b_to_a().restore_state(ns.cable2_b2a);
+    }
+    node.port->restore_state(ns.port);
+    node.delivered = ns.delivered;
+  }
+  if (injector_) {
+    injector_->restore_state(snap.injector);
+    uart_->restore_state(snap.uart);
+    comm_->decoder().restore_state(snap.decoder);
+    comm_->output().restore_state(snap.output_lines);
+    control_->restore_state(snap.control);
+  }
+}
+
 std::unique_ptr<Fabric> make_fabric(Medium medium,
                                     const TestbedConfig& config) {
   switch (medium) {

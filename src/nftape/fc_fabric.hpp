@@ -69,6 +69,8 @@ class FcFabric final : public Fabric {
   void clear_workload() override;
   [[nodiscard]] FabricCounters snapshot() const override;
   [[nodiscard]] sim::Duration recovery_time() const override;
+  [[nodiscard]] std::unique_ptr<FabricSnapshot> capture_snapshot() override;
+  void restore_snapshot(const FabricSnapshot& snap) override;
 
  private:
   class SequenceFlood;

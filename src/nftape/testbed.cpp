@@ -89,6 +89,57 @@ void Testbed::set_trace(sim::TraceLog* trace) {
   if (injector_) injector_->set_trace(trace);
 }
 
+Testbed::State Testbed::capture_state() const {
+  State state;
+  state.sim = sim_.snapshot();
+  state.switch_state = switch_.capture_state();
+  state.nodes.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    State::NodeState ns;
+    ns.cable_a2b = node->cable->a_to_b().capture_state();
+    ns.cable_b2a = node->cable->b_to_a().capture_state();
+    if (node->cable2) {
+      ns.cable2_a2b = node->cable2->a_to_b().capture_state();
+      ns.cable2_b2a = node->cable2->b_to_a().capture_state();
+    }
+    ns.nic = node->nic->capture_state();
+    ns.host = node->host->capture_state();
+    state.nodes.push_back(std::move(ns));
+  }
+  if (injector_) {
+    state.injector = injector_->capture_state();
+    state.uart = uart_->capture_state();
+    state.decoder = comm_->decoder().capture_state();
+    state.output_lines = comm_->output().capture_state();
+    state.control = control_->capture_state();
+  }
+  return state;
+}
+
+void Testbed::restore_state(const State& state) {
+  sim_.restore(state.sim);
+  switch_.restore_state(state.switch_state);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto& node = *nodes_[i];
+    const auto& ns = state.nodes.at(i);
+    node.cable->a_to_b().restore_state(ns.cable_a2b);
+    node.cable->b_to_a().restore_state(ns.cable_b2a);
+    if (node.cable2) {
+      node.cable2->a_to_b().restore_state(ns.cable2_a2b);
+      node.cable2->b_to_a().restore_state(ns.cable2_b2a);
+    }
+    node.nic->restore_state(ns.nic);
+    node.host->restore_state(ns.host);
+  }
+  if (injector_) {
+    injector_->restore_state(state.injector);
+    uart_->restore_state(state.uart);
+    comm_->decoder().restore_state(state.decoder);
+    comm_->output().restore_state(state.output_lines);
+    control_->restore_state(state.control);
+  }
+}
+
 void Testbed::reset_to_known_good(std::uint64_t seed) {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     nodes_[i]->host->clear_stats();

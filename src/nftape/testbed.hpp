@@ -41,6 +41,8 @@ struct FcTuning {
   /// payload so every message travels as a multi-frame FC-2 sequence (the
   /// failure surface a lost middle frame exposes).
   std::size_t frame_chunk = 128;
+
+  bool operator==(const FcTuning&) const = default;
 };
 
 struct TestbedConfig {
@@ -68,6 +70,11 @@ struct TestbedConfig {
   /// FC realization of this config (ignored by the Myrinet `Testbed`).
   FcTuning fc = {};
   std::uint64_t seed = 1;
+
+  /// Memberwise equality — the orchestrator's snapshot cache compares
+  /// seed-normalized configs to decide whether two runs share a cell (a
+  /// memcmp would read uninitialized padding).
+  bool operator==(const TestbedConfig&) const = default;
 };
 
 class Testbed {
@@ -118,6 +125,36 @@ class Testbed {
 
   /// Attaches an event trace to the switch, every MCP, and the injector.
   void set_trace(sim::TraceLog* trace);
+
+  /// Full mutable state of the bed: the simulator event queue plus every
+  /// model layer. Capture only at quiescent settle boundaries (after
+  /// start() + settle) — pending serial commands or workload objects are
+  /// outside the contract. Restore rewinds a bed of identical construction
+  /// parameters; EventIds stay valid because the simulator queue's slots
+  /// and generations are restored verbatim into the same object graph.
+  struct State {
+    struct NodeState {
+      link::Channel::State cable_a2b;
+      link::Channel::State cable_b2a;
+      /// Second segment, meaningful only for the injected node.
+      link::Channel::State cable2_a2b;
+      link::Channel::State cable2_b2a;
+      myrinet::HostInterface::State nic;
+      host::Host::State host;
+    };
+    sim::Simulator::Snapshot sim;
+    myrinet::Switch::State switch_state;
+    std::vector<NodeState> nodes;
+    /// Injector-side state, meaningful only when with_injector is set.
+    core::InjectorDevice::State injector;
+    core::Uart::State uart;
+    core::CommandDecoder::State decoder;
+    std::uint64_t output_lines = 0;
+    core::SerialControlHost::State control;
+  };
+
+  [[nodiscard]] State capture_state() const;
+  void restore_state(const State& state);
 
  private:
   struct Node {

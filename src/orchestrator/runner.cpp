@@ -22,6 +22,24 @@ double ms_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Startup settle under the watchdog, chunked at the poll interval.
+void settle_startup(nftape::Fabric& fabric, sim::Duration span,
+                    const nftape::RunControl& control) {
+  sim::Duration elapsed = 0;
+  const sim::Duration chunk =
+      control.poll_interval > 0 ? control.poll_interval : span;
+  sim::Duration left = span;
+  while (left > 0) {
+    if (control.should_cancel && control.should_cancel(elapsed)) {
+      throw nftape::RunCancelled("cancelled during testbed startup");
+    }
+    const sim::Duration step = left < chunk ? left : chunk;
+    fabric.settle(step);
+    elapsed += step;
+    left -= step;
+  }
+}
+
 /// The production executor: a private Fabric per run (thread isolation),
 /// realized for the campaign's medium, startup settle under the watchdog,
 /// then the campaign itself.
@@ -29,27 +47,66 @@ nftape::CampaignResult default_execute(const RunSpec& run,
                                        const nftape::RunControl& control) {
   const auto fabric = nftape::make_fabric(run.campaign.medium, run.testbed);
   fabric->start();
-  sim::Duration elapsed = 0;
-  const sim::Duration chunk =
-      control.poll_interval > 0 ? control.poll_interval : run.startup_settle;
-  sim::Duration left = run.startup_settle;
-  while (left > 0) {
-    if (control.should_cancel && control.should_cancel(elapsed)) {
-      throw nftape::RunCancelled("cancelled during testbed startup");
-    }
-    const sim::Duration step = left < chunk ? left : chunk;
-    fabric->settle(step);
-    elapsed += step;
-    left -= step;
-  }
+  settle_startup(*fabric, run.startup_settle, control);
   // Seed the campaign with the settle-phase elapsed so the watchdog sees
   // one accumulator across both phases: a run livelocked astride the phase
   // boundary must not get a second, fresh sim-time budget.
   nftape::CampaignRunner runner(*fabric);
-  return runner.run(run.campaign, &control, elapsed);
+  return runner.run(run.campaign, &control, run.startup_settle);
 }
 
 }  // namespace
+
+/// One worker's snapshot cache: the settled fabric and its captured state.
+/// The key normalizes the testbed seed to zero because the per-run seed is
+/// re-derived inside CampaignRunner::run by reset_to_known_good — any two
+/// runs differing only by seed share the same settled trajectory (the
+/// settle phase draws nothing from the per-run streams), hence one cell.
+struct Runner::SnapshotCache {
+  bool valid = false;
+  nftape::Medium medium = nftape::Medium::kMyrinet;
+  sim::Duration startup_settle = 0;
+  nftape::TestbedConfig config;  ///< seed-normalized cell key
+  std::unique_ptr<nftape::Fabric> fabric;
+  std::unique_ptr<nftape::FabricSnapshot> snap;
+};
+
+nftape::CampaignResult Runner::snapshot_execute(
+    const RunSpec& run, const nftape::RunControl& control,
+    SnapshotCache& cache) {
+  nftape::TestbedConfig norm = run.testbed;
+  norm.seed = 0;
+  const bool hit = cache.valid && cache.medium == run.campaign.medium &&
+                   cache.startup_settle == run.startup_settle &&
+                   cache.config == norm;
+  if (hit) {
+    cache.fabric->restore_snapshot(*cache.snap);
+  } else {
+    cache.valid = false;
+    cache.snap.reset();
+    cache.fabric = nftape::make_fabric(run.campaign.medium, run.testbed);
+    cache.fabric->start();
+    settle_startup(*cache.fabric, run.startup_settle, control);
+    cache.snap = cache.fabric->capture_snapshot();
+    if (cache.snap == nullptr) {
+      // Fabric without snapshot support: run cold on the fresh fabric and
+      // leave the cache invalid so every run of this cell cold-starts.
+      nftape::CampaignRunner runner(*cache.fabric);
+      auto result = runner.run(run.campaign, &control, run.startup_settle);
+      cache.fabric.reset();
+      return result;
+    }
+    cache.medium = run.campaign.medium;
+    cache.startup_settle = run.startup_settle;
+    cache.config = norm;
+    cache.valid = true;
+  }
+  // Either way the fabric now sits at the settle boundary. Credit the
+  // settle span to the watchdog accumulator exactly like a cold start, so
+  // one budget covers the whole (virtual) run.
+  nftape::CampaignRunner runner(*cache.fabric);
+  return runner.run(run.campaign, &control, run.startup_settle);
+}
 
 std::string_view to_string(RunOutcome o) noexcept {
   switch (o) {
@@ -192,6 +249,8 @@ nftape::Report cell_summary(const std::string& title,
 
 Runner::Runner(RunnerConfig config) : config_(std::move(config)) {}
 
+Runner::~Runner() = default;
+
 namespace {
 
 /// Identity fields every record carries, executed or not.
@@ -206,12 +265,15 @@ void stamp_identity(const RunSpec& run, RunRecord& rec) {
 
 }  // namespace
 
-void Runner::execute_one(const RunSpec& run, RunRecord& rec) {
+void Runner::execute_one(const RunSpec& run, RunRecord& rec,
+                         std::size_t worker) {
   stamp_identity(run, rec);
 
   // Auto simulated-time cap: generous for a healthy run of this spec's own
-  // span, fatal for a livelocked simulation.
-  const sim::Duration span = run.startup_settle + sim::milliseconds(60) +
+  // span, fatal for a livelocked simulation. Uses the spec's actual guard
+  // settles so a campaign with long guards gets a budget that covers them.
+  const sim::Duration span = run.startup_settle + run.campaign.program_guard +
+                             run.campaign.disarm_guard +
                              run.campaign.warmup + run.campaign.duration +
                              run.campaign.drain + run.testbed.map_period +
                              run.testbed.map_reply_window;
@@ -234,8 +296,12 @@ void Runner::execute_one(const RunSpec& run, RunRecord& rec) {
     };
     ++rec.attempts;
     try {
-      auto result = config_.executor ? config_.executor(run, control)
-                                     : default_execute(run, control);
+      auto result =
+          config_.executor
+              ? config_.executor(run, control)
+              : (config_.snapshots
+                     ? snapshot_execute(run, control, *caches_[worker])
+                     : default_execute(run, control));
       rec.wall_ms += ms_since(start);
       rec.result = std::move(result);
       rec.outcome = RunOutcome::kOk;
@@ -270,12 +336,21 @@ std::vector<RunRecord> Runner::run_batch(const std::vector<RunSpec>& runs) {
                             : std::max(1u, std::thread::hardware_concurrency());
   workers = std::min(workers, runs.size());
 
+  // Per-worker snapshot caches, created lazily and kept across batches so
+  // closed-loop rounds reuse settled fabrics (only touched by the owning
+  // worker's thread while the pool runs).
+  if (config_.snapshots) {
+    while (caches_.size() < workers) {
+      caches_.push_back(std::make_unique<SnapshotCache>());
+    }
+  }
+
   std::atomic<std::size_t> next{0};
   std::mutex mu;  // guards progress + both callbacks
   Progress& progress = progress_;
   progress.total += runs.size();
 
-  const auto work = [&] {
+  const auto work = [&](std::size_t worker) {
     for (;;) {
       const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
       if (idx >= runs.size()) return;
@@ -296,7 +371,7 @@ std::vector<RunRecord> Runner::run_batch(const std::vector<RunSpec>& runs) {
           ++progress.in_flight;
           if (config_.on_progress) config_.on_progress(progress);
         }
-        execute_one(runs[idx], records[idx]);
+        execute_one(runs[idx], records[idx], worker);
       }
       {
         const std::lock_guard<std::mutex> lock(mu);
@@ -319,7 +394,7 @@ std::vector<RunRecord> Runner::run_batch(const std::vector<RunSpec>& runs) {
 
   std::vector<std::thread> pool;
   pool.reserve(workers);
-  for (std::size_t i = 0; i < workers; ++i) pool.emplace_back(work);
+  for (std::size_t i = 0; i < workers; ++i) pool.emplace_back(work, i);
   for (auto& t : pool) t.join();
   return records;
 }

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -114,6 +115,14 @@ struct RunnerConfig {
   int max_retries = 1;
   /// Watchdog poll granularity in simulated time (RunControl chunking).
   sim::Duration poll_interval = sim::milliseconds(10);
+  /// Snapshot/fork execution: each worker settles the fabric once per
+  /// (topology, workload, medium) cell, captures the settled state, and
+  /// forks every subsequent run of that cell from the snapshot instead of
+  /// re-simulating boot + mapping. Per-run state (seeds, RNG streams,
+  /// monitors, workload) is re-derived by reset_to_known_good, so JSONL is
+  /// byte-identical to cold starts (tests/snapshot_test.cpp pins this).
+  /// Ignored when a custom executor is set.
+  bool snapshots = false;
   /// Called (serialized) after every run completes.
   std::function<void(const Progress&)> on_progress;
   /// Called (serialized) with each finished record, in completion order —
@@ -141,6 +150,7 @@ struct RunnerConfig {
 class Runner {
  public:
   explicit Runner(RunnerConfig config = {});
+  ~Runner();
 
   /// Executes every run and returns records indexed by RunSpec::index.
   /// Blocks until all runs finish (or are cancelled). Resets the
@@ -161,10 +171,21 @@ class Runner {
   void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
 
  private:
-  void execute_one(const RunSpec& run, RunRecord& record);
+  /// Per-worker snapshot cache (defined in runner.cpp): the settled fabric
+  /// and its captured state, keyed by (medium, startup settle, seed-
+  /// normalized TestbedConfig). One per worker index, touched only by that
+  /// worker's thread; persists across run_batch calls so the adaptive
+  /// controller's rounds reuse it.
+  struct SnapshotCache;
+
+  void execute_one(const RunSpec& run, RunRecord& record, std::size_t worker);
+  nftape::CampaignResult snapshot_execute(const RunSpec& run,
+                                          const nftape::RunControl& control,
+                                          SnapshotCache& cache);
 
   RunnerConfig config_;
   std::atomic<bool> cancelled_{false};
+  std::vector<std::unique_ptr<SnapshotCache>> caches_;
   /// Campaign-wide progress, accumulated across run_batch calls. Only
   /// touched between batches (the pool itself guards it with a mutex while
   /// running), so no atomicity is needed here.

@@ -81,6 +81,24 @@ class Action {
     }
   }
 
+  /// Whether clone() can duplicate the held callable. Empty Actions are
+  /// trivially clonable; a non-empty Action is clonable iff the erased
+  /// callable is copy-constructible.
+  [[nodiscard]] bool clonable() const noexcept {
+    return ops_ == nullptr || ops_->clone != nullptr;
+  }
+
+  /// Duplicates the held callable (EventQueue snapshots copy every pending
+  /// event's action this way). Precondition: clonable().
+  [[nodiscard]] Action clone() const {
+    Action out;
+    if (ops_ != nullptr) {
+      ops_->clone(out.storage_, storage_);
+      out.ops_ = ops_;
+    }
+    return out;
+  }
+
  private:
   struct Ops {
     void (*invoke)(void*);
@@ -88,7 +106,33 @@ class Action {
     /// `src` copy (for heap-held callables, just moves the pointer).
     void (*relocate)(void* dst, void* src) noexcept;
     void (*destroy)(void*) noexcept;
+    /// Copy-constructs the callable into `dst` from `src`; nullptr when the
+    /// callable is move-only (such an action cannot be snapshotted).
+    void (*clone)(void* dst, const void* src);
   };
+
+  template <typename Fn>
+  static constexpr auto clone_inline() {
+    if constexpr (std::is_copy_constructible_v<Fn>) {
+      return +[](void* dst, const void* src) {
+        ::new (dst) Fn(*std::launder(reinterpret_cast<const Fn*>(src)));
+      };
+    } else {
+      return static_cast<void (*)(void*, const void*)>(nullptr);
+    }
+  }
+
+  template <typename Fn>
+  static constexpr auto clone_heap() {
+    if constexpr (std::is_copy_constructible_v<Fn>) {
+      return +[](void* dst, const void* src) {
+        ::new (dst)
+            Fn*(new Fn(**std::launder(reinterpret_cast<Fn* const*>(src))));
+      };
+    } else {
+      return static_cast<void (*)(void*, const void*)>(nullptr);
+    }
+  }
 
   template <typename Fn>
   static constexpr Ops kInlineOps = {
@@ -99,6 +143,7 @@ class Action {
         s->~Fn();
       },
       [](void* p) noexcept { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); },
+      clone_inline<Fn>(),
   };
 
   template <typename Fn>
@@ -108,6 +153,7 @@ class Action {
         ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
       },
       [](void* p) noexcept { delete *std::launder(reinterpret_cast<Fn**>(p)); },
+      clone_heap<Fn>(),
   };
 
   alignas(std::max_align_t) unsigned char storage_[kInlineSize];

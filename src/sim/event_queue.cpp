@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 namespace hsfi::sim {
@@ -68,6 +69,44 @@ EventQueue::Fired EventQueue::pop() {
   retire(e.slot);
   --live_;
   return fired;
+}
+
+EventQueue::Snapshot EventQueue::snapshot() const {
+  Snapshot snap;
+  snap.heap = heap_;
+  snap.slots.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    if (!s.action.clonable()) {
+      throw std::logic_error(
+          "EventQueue::snapshot: a pending action holds a move-only "
+          "callable and cannot be captured");
+    }
+    Snapshot::SlotState state;
+    state.action = s.action.clone();
+    state.gen = s.gen;
+    state.next_free = s.next_free;
+    snap.slots.push_back(std::move(state));
+  }
+  snap.free_head = free_head_;
+  snap.live = live_;
+  snap.next_seq = next_seq_;
+  return snap;
+}
+
+void EventQueue::restore(const Snapshot& snap) {
+  heap_ = snap.heap;
+  slots_.clear();
+  slots_.reserve(snap.slots.size());
+  for (const Snapshot::SlotState& state : snap.slots) {
+    Slot s;
+    s.action = state.action.clone();
+    s.gen = state.gen;
+    s.next_free = state.next_free;
+    slots_.push_back(std::move(s));
+  }
+  free_head_ = snap.free_head;
+  live_ = snap.live;
+  next_seq_ = snap.next_seq;
 }
 
 }  // namespace hsfi::sim

@@ -33,6 +33,16 @@ class EventQueue {
  public:
   using Action = sim::Action;
 
+  /// Heap entry: trivially copyable so heap sifts are plain 24-byte moves
+  /// (the action itself never moves once parked in its slot). Public only
+  /// because Snapshot carries the heap verbatim.
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+
   /// Schedules `action` at absolute time `when` and returns its id.
   EventId schedule(SimTime when, Action action);
 
@@ -59,17 +69,37 @@ class EventQueue {
   /// Removes and returns the earliest live event. Precondition: !empty().
   Fired pop();
 
+  /// Full queue state at a point in time: heap order, slot generations, the
+  /// freelist chain, the tie-break counter, and a deep copy of every parked
+  /// action. Restoring it into a queue replays the identical
+  /// (when, seq, slot, gen) pop order. Move-only (actions are), and
+  /// restorable any number of times.
+  struct Snapshot {
+    struct SlotState {
+      Action action;  ///< empty for retired slots
+      std::uint32_t gen = 1;
+      std::uint32_t next_free = 0xFFFFFFFFu;
+    };
+    std::vector<Entry> heap;
+    std::vector<SlotState> slots;
+    std::uint32_t free_head = 0xFFFFFFFFu;
+    std::size_t live = 0;
+    std::uint64_t next_seq = 1;
+  };
+
+  /// Captures the queue verbatim. Throws std::logic_error if any pending
+  /// action holds a move-only callable (see Action::clonable) — kernel
+  /// events are expected to capture pointers and copyable values only.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Rewinds the queue to `snap` (deep-copying its actions, so the same
+  /// snapshot can seed many forks). Actions captured in the snapshot keep
+  /// their embedded pointers, so restore only makes sense into the same
+  /// object graph the snapshot was taken from.
+  void restore(const Snapshot& snap);
+
  private:
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
-
-  /// Trivially copyable so heap sifts are plain 24-byte moves (the action
-  /// itself never moves once parked in its slot).
-  struct Entry {
-    SimTime when;
-    std::uint64_t seq;
-    std::uint32_t slot;
-    std::uint32_t gen;
-  };
 
   struct Slot {
     Action action;

@@ -70,6 +70,33 @@ class Simulator {
     observer_ = std::move(observer);
   }
 
+  /// Kernel state at a point in time: the queue (with deep-copied actions),
+  /// the clock, and the executed-event counter. The counter is part of the
+  /// state because campaign records report executed-event *deltas*; a fork
+  /// must see the same delta a cold start would.
+  struct Snapshot {
+    EventQueue::Snapshot queue;
+    SimTime now = 0;
+    std::uint64_t executed = 0;
+  };
+
+  /// Captures the kernel verbatim (see EventQueue::snapshot for the
+  /// clonability requirement on pending actions).
+  [[nodiscard]] Snapshot snapshot() const {
+    return Snapshot{queue_.snapshot(), now_, executed_};
+  }
+
+  /// Rewinds the kernel to `snap`. Clears any pending stop() request; the
+  /// event observer, if any, stays attached. Only meaningful on the same
+  /// object graph the snapshot was captured from (pending actions embed
+  /// entity pointers).
+  void restore(const Snapshot& snap) {
+    queue_.restore(snap.queue);
+    now_ = snap.now;
+    executed_ = snap.executed;
+    stop_requested_ = false;
+  }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;

@@ -165,6 +165,63 @@ TEST(CampaignTest, ManifestationsAccountForEveryInjection) {
   EXPECT_EQ(counted, baseline.injections + r.injections);
 }
 
+TEST(CampaignTest, GuardSettlesCountAgainstWatchdogBudget) {
+  // The programming/disarm guards are CampaignSpec fields
+  // (program_guard / disarm_guard) and their simulated time must flow
+  // into the elapsed figure handed to RunControl::should_cancel — a
+  // watchdog budget covers the whole run, guards included.
+  auto elapsed_with_guards = [](sim::Duration guard) {
+    Testbed bed(campaign_config());
+    bed.start();
+    bed.settle(milliseconds(60));
+    CampaignRunner runner(bed);
+    auto spec = quick_spec("guards");
+    spec.duration = milliseconds(50);
+    spec.program_guard = guard;
+    spec.disarm_guard = guard;
+    spec.fault_to_switch =
+        control_symbol_corruption(ControlSymbol::kGap, ControlSymbol::kGo);
+    sim::Duration max_elapsed = 0;
+    RunControl control;
+    control.should_cancel = [&max_elapsed](sim::Duration elapsed) {
+      if (elapsed > max_elapsed) max_elapsed = elapsed;
+      return false;
+    };
+    (void)runner.run(spec, &control);
+    return max_elapsed;
+  };
+
+  const sim::Duration base = elapsed_with_guards(milliseconds(30));
+  const sim::Duration padded = elapsed_with_guards(milliseconds(130));
+  // Two guards, each grown by 100 ms, must surface as >= 200 ms more
+  // budgeted time.
+  EXPECT_GE(padded - base, milliseconds(200));
+}
+
+TEST(CampaignTest, OversizedGuardTripsWatchdog) {
+  // A budget generous enough for the default guards must cancel the same
+  // run when program_guard alone exceeds it — guards cannot hide from
+  // the watchdog.
+  Testbed bed(campaign_config());
+  bed.start();
+  bed.settle(milliseconds(60));
+  CampaignRunner runner(bed);
+
+  auto spec = quick_spec("oversized-guard");
+  spec.fault_to_switch =
+      control_symbol_corruption(ControlSymbol::kGap, ControlSymbol::kGo);
+  RunControl control;
+  control.should_cancel = [](sim::Duration elapsed) {
+    return elapsed > milliseconds(1000);
+  };
+  // Sanity: the run fits the budget with the default 30 ms guards
+  // (~250 ms window plus programming overhead).
+  EXPECT_NO_THROW((void)runner.run(spec, &control));
+
+  spec.program_guard = sim::seconds(2);
+  EXPECT_THROW((void)runner.run(spec, &control), RunCancelled);
+}
+
 TEST(CampaignTest, DuplicateDeliveriesAreCountedNotClampedAway) {
   // loss_rate() must not hide received > sent behind a clamp; the
   // duplicates() accessor reports the overshoot explicitly.

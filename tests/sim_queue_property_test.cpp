@@ -10,6 +10,7 @@
 // aggressively enough to churn the freelist hard).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <random>
@@ -169,6 +170,153 @@ INSTANTIATE_TEST_SUITE_P(
         Scenario{0xC0FFEE, 10'000, 1'000, 45},
         // Long horizon, rare cancels: deep heaps.
         Scenario{0xD15EA5E, 10'000, 1'000'000'000, 5}),
+    [](const ::testing::TestParamInfo<Scenario>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed);
+    });
+
+// ---------------------------------------------------------------------------
+// Snapshot/restore: capturing the queue mid-scenario and restoring it must
+// replay the identical (when, seq, slot, gen) pop order — not just the
+// same tokens, but the same id encodings, because the orchestrator's
+// snapshot/fork path restores a queue in place and outstanding EventIds
+// must stay cancellable afterwards.
+
+/// One popped event, fully identified: fire time, schedule ordinal, and
+/// the slot/generation halves of the EventId.
+struct PopRecord {
+  SimTime when;
+  std::uint64_t seq;
+  std::uint32_t slot;
+  std::uint32_t gen;
+  std::uint64_t token;
+
+  bool operator==(const PopRecord&) const = default;
+};
+
+/// Drains `queue`, executing every action (tokens land in `log`) and
+/// recording the full identity of each pop.
+std::vector<PopRecord> drain(EventQueue& queue,
+                             std::vector<std::uint64_t>& log) {
+  std::vector<PopRecord> out;
+  while (!queue.empty()) {
+    auto fired = queue.pop();
+    const std::size_t before = log.size();
+    fired.action();
+    const std::uint64_t token = log.size() > before ? log.back() : 0;
+    out.push_back({fired.when, fired.seq,
+                   static_cast<std::uint32_t>(fired.id >> 32),
+                   static_cast<std::uint32_t>(fired.id & 0xFFFFFFFFu),
+                   token});
+  }
+  return out;
+}
+
+class SimQueueSnapshotTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(SimQueueSnapshotTest, RestoreReplaysIdenticalPopOrder) {
+  const Scenario scenario = GetParam();
+  std::mt19937_64 rng(scenario.seed);
+
+  // Churn the queue with the scenario's op mix (schedule/cancel/pop) so
+  // the snapshot lands on a non-trivial slot/generation/freelist state,
+  // then capture mid-scenario.
+  EventQueue queue;
+  std::vector<std::uint64_t> log;  // actions append here when fired
+  std::vector<EventId> live;
+  std::uint64_t next_token = 1;
+  SimTime now = 0;
+  for (int op = 0; op < scenario.ops; ++op) {
+    const auto roll = static_cast<int>(rng() % 100);
+    if (roll < 50 || live.empty()) {
+      const SimTime when =
+          scenario.time_span == 0 || rng() % 4 == 0
+              ? now
+              : now + static_cast<SimTime>(
+                          rng() % static_cast<std::uint64_t>(scenario.time_span));
+      const std::uint64_t token = next_token++;
+      live.push_back(
+          queue.schedule(when, [token, &log] { log.push_back(token); }));
+    } else if (roll < 50 + scenario.cancel_percent) {
+      const std::size_t pick = rng() % live.size();
+      queue.cancel(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (!queue.empty()) {
+      auto fired = queue.pop();
+      now = fired.when;
+      fired.action();
+      std::erase(live, fired.id);
+    }
+  }
+  ASSERT_FALSE(queue.empty()) << "scenario must leave pending events";
+
+  const EventQueue::Snapshot snap = queue.snapshot();
+
+  // Original pop order, from the snapshot point to empty.
+  log.clear();
+  const auto original = drain(queue, log);
+  const auto original_log = log;
+
+  // One snapshot, two independent restores (a snapshot seeds many forks):
+  // each must replay the identical order, ids included.
+  for (int fork = 0; fork < 2; ++fork) {
+    EventQueue restored;
+    restored.restore(snap);
+    ASSERT_EQ(restored.size(), snap.live);
+    log.clear();
+    const auto replay = drain(restored, log);
+    EXPECT_EQ(replay, original)
+        << "fork " << fork << " diverged in (when, seq, slot, gen) order";
+    EXPECT_EQ(log, original_log);
+  }
+}
+
+TEST_P(SimQueueSnapshotTest, RestoredIdsStayCancellable) {
+  // Ids minted before the snapshot must name the same events in the
+  // restored queue: cancelling one there removes exactly that event.
+  const Scenario scenario = GetParam();
+  std::mt19937_64 rng(scenario.seed ^ 0x5eedULL);
+
+  EventQueue queue;
+  std::vector<std::uint64_t> log;
+  struct Live {
+    EventId id;
+    std::uint64_t token;
+  };
+  std::vector<Live> live;
+  for (int i = 0; i < 200; ++i) {
+    const SimTime when = scenario.time_span == 0
+                             ? 0
+                             : static_cast<SimTime>(
+                                   rng() % static_cast<std::uint64_t>(
+                                               scenario.time_span));
+    const std::uint64_t token = 1000 + static_cast<std::uint64_t>(i);
+    live.push_back(
+        {queue.schedule(when, [token, &log] { log.push_back(token); }),
+         token});
+  }
+  const EventQueue::Snapshot snap = queue.snapshot();
+
+  EventQueue restored;
+  restored.restore(snap);
+  const Live victim = live[static_cast<std::size_t>(rng() % live.size())];
+  restored.cancel(victim.id);
+  EXPECT_EQ(restored.size(), queue.size() - 1);
+
+  log.clear();
+  drain(restored, log);
+  EXPECT_EQ(std::count(log.begin(), log.end(), victim.token), 0)
+      << "cancelling a pre-snapshot id must remove exactly that event";
+  EXPECT_EQ(log.size(), live.size() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, SimQueueSnapshotTest,
+    ::testing::Values(
+        // Cancel-heavy: the snapshot carries a churned freelist and many
+        // retired generations.
+        Scenario{0xC0FFEE, 10'000, 1'000, 45},
+        // Single-timestamp: restored order is pure seq tie-breaking.
+        Scenario{0xB0B, 10'000, 0, 20}),
     [](const ::testing::TestParamInfo<Scenario>& param_info) {
       return "seed" + std::to_string(param_info.param.seed);
     });
