@@ -44,7 +44,7 @@ int main() {
   sweep.directions = {orchestrator::FaultDirection::kBoth};
   for (const auto& point : points) {
     sweep.faults.push_back({nftape::cell("seu-%04X", point.mask),
-                            nftape::random_bit_flip_seu(point.mask)});
+                            nftape::random_bit_flip_seu(point.mask), ""});
   }
 
   const auto runs = orchestrator::expand(sweep);

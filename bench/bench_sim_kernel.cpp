@@ -25,6 +25,7 @@
 #include "nftape/testbed.hpp"
 #include "orchestrator/runner.hpp"
 #include "orchestrator/sweep.hpp"
+#include "scenario/scenario.hpp"
 
 using namespace hsfi;
 using myrinet::ControlSymbol;
@@ -112,7 +113,7 @@ std::uint64_t scenario_seu_sweep(bool smoke) {
   const std::size_t points = smoke ? 1 : 3;
   for (std::size_t i = 0; i < points; ++i) {
     sweep.faults.push_back({nftape::cell("seu-%04X", masks[i]),
-                            nftape::random_bit_flip_seu(masks[i])});
+                            nftape::random_bit_flip_seu(masks[i]), ""});
   }
   const auto records = orchestrator::Runner().run_all(orchestrator::expand(sweep));
   std::uint64_t events = 0;
@@ -181,7 +182,7 @@ std::uint64_t scenario_monitor_overhead(bool smoke) {
   sweep.directions = {orchestrator::FaultDirection::kBoth};
   sweep.replicates = smoke ? 1 : 3;
   sweep.faults.push_back(
-      {nftape::cell("seu-%04X", 0x00FF), nftape::random_bit_flip_seu(0x00FF)});
+      {nftape::cell("seu-%04X", 0x00FF), nftape::random_bit_flip_seu(0x00FF), ""});
   const auto runs = orchestrator::expand(sweep);
 
   // One pass of the sweep; the monitored arm folds every record into the
@@ -243,6 +244,88 @@ std::uint64_t scenario_monitor_overhead(bool smoke) {
     return 0;
   }
   return bare_events + monitored_events;
+}
+
+/// Scenario-hook overhead A/B: the same sweep twice — bare, and with an
+/// empty (zero-step) scenario armed. Arming installs the protocol-layer
+/// hooks (tx mutators on every NIC/switch port) even when no step ever
+/// fires, so the armed-idle arm isolates the pure hook cost every
+/// non-scenario campaign would pay if the hooks were unconditional. Event
+/// totals must match exactly (idle hooks must not perturb the simulation)
+/// and the armed arm must stay within 5% of the bare arm's events/s; any
+/// violation reports 0 events, the harness's failure convention.
+std::uint64_t scenario_scenario_overhead(bool smoke) {
+  orchestrator::SweepSpec sweep;
+  sweep.name = "scenario-overhead";
+  sweep.testbed = standard_testbed();
+  sweep.base.warmup = sim::milliseconds(10);
+  sweep.base.duration = sim::milliseconds(smoke ? 15 : 40);
+  sweep.base.drain = sim::milliseconds(10);
+  sweep.base.workload.udp_interval = sim::microseconds(20);
+  sweep.base.workload.payload_size = 128;
+  sweep.directions = {orchestrator::FaultDirection::kBoth};
+  sweep.replicates = smoke ? 1 : 3;
+  sweep.faults.push_back(
+      {nftape::cell("seu-%04X", 0x00FF), nftape::random_bit_flip_seu(0x00FF), ""});
+
+  const auto pass = [](const std::vector<orchestrator::RunSpec>& runs,
+                       double& wall_s, std::uint64_t& events) -> bool {
+    orchestrator::RunnerConfig rc;
+    rc.workers = 1;  // serial: wall time measures the hot path, not the pool
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto records = orchestrator::Runner(rc).run_all(runs);
+    const auto t1 = std::chrono::steady_clock::now();
+    wall_s = std::chrono::duration<double>(t1 - t0).count();
+    events = 0;
+    for (const auto& r : records) {
+      if (r.outcome != orchestrator::RunOutcome::kOk) {
+        std::fprintf(stderr, "scenario_overhead run %zu: %s\n", r.index,
+                     std::string(orchestrator::to_string(r.outcome)).c_str());
+        return false;
+      }
+      events += r.result.events_executed;
+    }
+    return true;
+  };
+
+  const auto bare_runs = orchestrator::expand(sweep);
+  sweep.base.scenario = scenario::ScenarioSpec{"idle", {}};
+  const auto armed_runs = orchestrator::expand(sweep);
+
+  const int passes = smoke ? 1 : 3;
+  double bare_wall = 0.0;
+  double armed_wall = 0.0;
+  std::uint64_t bare_events = 0;
+  std::uint64_t armed_events = 0;
+  for (int i = 0; i < passes; ++i) {
+    double wall = 0.0;
+    std::uint64_t events = 0;
+    if (!pass(bare_runs, wall, events)) return 0;
+    bare_wall = (i == 0) ? wall : std::min(bare_wall, wall);
+    bare_events = events;
+    if (!pass(armed_runs, wall, events)) return 0;
+    armed_wall = (i == 0) ? wall : std::min(armed_wall, wall);
+    armed_events = events;
+  }
+
+  if (armed_events != bare_events) {
+    std::fprintf(stderr,
+                 "scenario_overhead: idle hooks perturbed the run (%llu vs "
+                 "%llu events)\n",
+                 static_cast<unsigned long long>(armed_events),
+                 static_cast<unsigned long long>(bare_events));
+    return 0;
+  }
+  // events/s ratio == inverse wall ratio (identical event totals).
+  if (armed_wall > bare_wall * 1.05) {
+    std::fprintf(stderr,
+                 "scenario_overhead: installed-idle hooks cost %.1f%% "
+                 "events/s (budget 5%%): bare %.3fs vs armed %.3fs\n",
+                 (armed_wall / bare_wall - 1.0) * 100.0, bare_wall,
+                 armed_wall);
+    return 0;
+  }
+  return bare_events + armed_events;
 }
 
 /// Snapshot/fork A/B: N campaign replicates cold-started (fresh fabric +
@@ -395,5 +478,7 @@ int main(int argc, char** argv) {
                   [smoke] { return scenario_monitor_overhead(smoke); });
   harness.measure("snapshot_fork",
                   [smoke] { return scenario_snapshot_fork(smoke); });
+  harness.measure("scenario_overhead",
+                  [smoke] { return scenario_scenario_overhead(smoke); });
   return harness.finish();
 }

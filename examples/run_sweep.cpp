@@ -28,13 +28,17 @@
 #include "monitor/feed.hpp"
 #include "monitor/jsonl_reader.hpp"
 #include "monitor/service.hpp"
+#include "nftape/fabric.hpp"
 #include "nftape/medium.hpp"
 #include "orchestrator/campaign_file.hpp"
 #include "orchestrator/json_value.hpp"
 #include "orchestrator/jsonl.hpp"
+#include "orchestrator/repro.hpp"
 #include "orchestrator/runner.hpp"
 #include "orchestrator/shard.hpp"
 #include "orchestrator/sweep.hpp"
+#include "scenario/minimizer.hpp"
+#include "scenario/scenario.hpp"
 
 using namespace hsfi;
 
@@ -42,6 +46,33 @@ namespace {
 
 std::vector<orchestrator::FaultPoint> fault_axis_for(nftape::Medium medium) {
   return orchestrator::standard_fault_axis(medium);
+}
+
+/// The built-in (non --spec) testbed and workload configuration. Factored
+/// out of main because --replay must rebuild it bit-for-bit from a trace:
+/// a replayed run only matches its stored record if every field the trace
+/// does not carry is identical to what the emitting process used.
+void apply_static_config(orchestrator::SweepSpec& sweep) {
+  sweep.testbed.map_period = sim::milliseconds(100);
+  sweep.testbed.nic_config.rx_processing_time = sim::microseconds(1);
+  sweep.testbed.send_stack_time = sim::microseconds(1);
+  // FC realization: drain receive buffers faster than the 12 us sequence
+  // pace so the healthy path never stalls on credits.
+  sweep.testbed.fc.rx_processing_time = sim::microseconds(1);
+  sweep.base.warmup = sim::milliseconds(10);
+  sweep.base.drain = sim::milliseconds(10);
+  // Full-capacity bursts (paper §4.2): collisions at the switch outputs
+  // engage STOP/GO flow control, so control-symbol faults have symbols to
+  // corrupt. Jitter makes the seed axis real — replicates differ.
+  sweep.base.workload.udp_interval = sim::microseconds(12);
+  sweep.base.workload.burst_size = 4;
+  sweep.base.workload.jitter = 0.5;
+  sweep.base.workload.payload_size = 256;
+}
+
+scenario::Medium scenario_medium_for(nftape::Medium m) {
+  return m == nftape::Medium::kFc ? scenario::Medium::kFc
+                                  : scenario::Medium::kMyrinet;
 }
 
 void usage(std::FILE* to = stdout) {
@@ -68,6 +99,21 @@ void usage(std::FILE* to = stdout) {
       "                   the fabric realization and the fault axis\n"
       "  --faults a,b,c   restrict the fault axis (see --list)\n"
       "  --list           print the selected medium's fault axis and exit\n"
+      "  --list-faults    like --list but with one-line descriptions\n"
+      "  --list-scenarios print the registered misbehavior scenarios (name,\n"
+      "                   medium, description) and exit\n"
+      "  --scenario S     arm the named protocol-misbehavior scenario (see\n"
+      "                   --list-scenarios) over every run's measurement\n"
+      "                   window; composes with the fault axis and\n"
+      "                   --strategy, and step firings count as injections\n"
+      "  --emit-repro F   with --scenario: execute one reference run, then\n"
+      "                   delta-debug (ddmin) the step sequence down to a\n"
+      "                   minimal reproducer of the same manifestation\n"
+      "                   class on a snapshot-forked fabric, verify it, and\n"
+      "                   write a replayable trace to F\n"
+      "  --replay F       re-execute a trace written by --emit-repro and\n"
+      "                   compare the produced JSONL record byte-for-byte\n"
+      "                   against the record stored in the trace\n"
       "  --strategy S     closed-loop campaign instead of the static grid:\n"
       "                   fixed (the static grid through the controller),\n"
       "                   bisect (binary-search the manifestation threshold\n"
@@ -596,6 +642,188 @@ int run_spec_adaptive(const orchestrator::CampaignFile& file,
   return 0;
 }
 
+// ===========================================================================
+// --emit-repro / --replay: reproducer minimization over a misbehavior
+// scenario and byte-level trace replay (orchestrator/repro.hpp,
+// scenario/minimizer.hpp).
+
+/// Executes one expanded run through the production Runner (one worker,
+/// cold fabric) — the byte-determinism reference an emitted trace stores
+/// and a replay is compared against.
+orchestrator::RunRecord reference_run(const orchestrator::RunSpec& run) {
+  orchestrator::RunnerConfig rc;
+  rc.workers = 1;
+  return orchestrator::Runner(rc).run_all({run}).front();
+}
+
+int emit_repro(orchestrator::SweepSpec sweep, bool fault_filtered,
+               const std::string& path) {
+  // One-run grid: the first selected fault (fault-free baseline when
+  // --faults was not given — the scenario alone must manifest), one
+  // direction, one replicate.
+  sweep.name = "repro";
+  if (fault_filtered) {
+    sweep.faults.resize(1);
+  } else {
+    sweep.faults = {{"baseline", std::nullopt, ""}};
+  }
+  sweep.directions = {orchestrator::FaultDirection::kBoth};
+  sweep.intensities.clear();
+  sweep.replicates = 1;
+  const auto runs = orchestrator::expand(sweep);
+  const auto& run = runs.front();
+
+  const auto reference = reference_run(run);
+  if (reference.outcome != orchestrator::RunOutcome::kOk) {
+    std::fprintf(stderr, "reference run failed (%s): %s\n",
+                 std::string(to_string(reference.outcome)).c_str(),
+                 reference.error.c_str());
+    return 1;
+  }
+  const std::string expect = orchestrator::dominant_class(reference.result);
+  if (expect.empty()) {
+    std::fprintf(stderr,
+                 "scenario '%s' did not manifest under %s — nothing to "
+                 "minimize\n",
+                 run.campaign.scenario->name.c_str(),
+                 run.campaign.name.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s manifests as %s; minimizing %zu steps\n",
+               run.campaign.name.c_str(), expect.c_str(),
+               run.campaign.scenario->steps.size());
+
+  // ddmin probes fork from one settled snapshot: boot + mapping are paid
+  // once, every candidate subset costs one measurement window.
+  const auto fabric = nftape::make_fabric(run.campaign.medium, run.testbed);
+  fabric->start();
+  fabric->settle(run.startup_settle);
+  const auto snap = fabric->capture_snapshot();
+  nftape::CampaignRunner probes(*fabric);
+  const scenario::Minimizer::Execute execute =
+      [&](const scenario::ScenarioSpec& candidate) {
+        if (snap != nullptr) fabric->restore_snapshot(*snap);
+        nftape::CampaignSpec spec = run.campaign;
+        spec.scenario = candidate;
+        return orchestrator::dominant_class(probes.run(spec));
+      };
+  const auto minimized =
+      scenario::Minimizer().minimize(*run.campaign.scenario, expect, execute);
+  if (!minimized.reproduced) {
+    std::fprintf(stderr,
+                 "forked re-execution did not reproduce %s; the full "
+                 "%zu-step sequence is reported irreducible\n",
+                 expect.c_str(), minimized.minimal.steps.size());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "minimized %zu -> %zu steps in %zu runs (naive one-at-a-time "
+               "removal needs >= %zu)\n",
+               run.campaign.scenario->steps.size(),
+               minimized.minimal.steps.size(), minimized.runs,
+               run.campaign.scenario->steps.size() + 1);
+
+  // Verification: the minimal sequence back through the production Runner
+  // on a cold fabric — its record is what the trace stores and what a
+  // replay must reproduce byte-for-byte.
+  sweep.base.scenario = minimized.minimal;
+  const auto verify = reference_run(orchestrator::expand(sweep).front());
+  const std::string got = verify.outcome == orchestrator::RunOutcome::kOk
+                              ? orchestrator::dominant_class(verify.result)
+                              : std::string();
+  if (got != expect) {
+    std::fprintf(stderr,
+                 "verification run classed '%s', expected '%s' — trace not "
+                 "written\n",
+                 got.c_str(), expect.c_str());
+    return 1;
+  }
+
+  orchestrator::ReproTrace trace;
+  trace.name = verify.name;
+  trace.medium = sweep.base.medium;
+  trace.seed = sweep.base_seed;
+  trace.fault = sweep.faults.front().config ? sweep.faults.front().name : "";
+  trace.direction = orchestrator::FaultDirection::kBoth;
+  trace.warmup = sweep.base.warmup;
+  trace.duration = sweep.base.duration;
+  trace.drain = sweep.base.drain;
+  trace.udp_interval = sweep.base.workload.udp_interval;
+  trace.payload_size = sweep.base.workload.payload_size;
+  trace.burst_size = sweep.base.workload.burst_size;
+  trace.jitter = sweep.base.workload.jitter;
+  trace.scenario = minimized.minimal;
+  trace.expect = expect;
+  trace.jsonl = orchestrator::to_jsonl(verify, false);
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  out << orchestrator::to_json(trace);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "write to %s failed\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s (%zu-step reproducer for %s)\n", path.c_str(),
+               minimized.minimal.steps.size(), expect.c_str());
+  return 0;
+}
+
+int replay_trace(const std::string& path) {
+  orchestrator::ReproTrace trace;
+  try {
+    trace = orchestrator::load_repro_trace(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  orchestrator::SweepSpec sweep;
+  sweep.name = "replay";
+  apply_static_config(sweep);
+  sweep.base.medium = trace.medium;
+  sweep.base.warmup = trace.warmup;
+  sweep.base.duration = trace.duration;
+  sweep.base.drain = trace.drain;
+  sweep.base.workload.udp_interval = trace.udp_interval;
+  sweep.base.workload.payload_size = trace.payload_size;
+  sweep.base.workload.burst_size = trace.burst_size;
+  sweep.base.workload.jitter = trace.jitter;
+  sweep.base.scenario = trace.scenario;
+  sweep.base_seed = trace.seed;
+  sweep.directions = {trace.direction};
+  sweep.replicates = 1;
+  if (trace.fault.empty()) {
+    sweep.faults = {{"baseline", std::nullopt, ""}};
+  } else {
+    for (auto& f : fault_axis_for(trace.medium)) {
+      if (f.name == trace.fault) sweep.faults.push_back(std::move(f));
+    }
+    if (sweep.faults.empty()) {
+      std::fprintf(stderr, "trace fault '%s' is not on the %s axis\n",
+                   trace.fault.c_str(),
+                   std::string(nftape::to_string(trace.medium)).c_str());
+      return 1;
+    }
+  }
+
+  const auto record = reference_run(orchestrator::expand(sweep).front());
+  const std::string line = orchestrator::to_jsonl(record, false);
+  if (line == trace.jsonl) {
+    std::printf("reproduced %s: %s, record byte-identical\n",
+                trace.name.c_str(),
+                trace.expect.empty() ? "(no class)" : trace.expect.c_str());
+    return 0;
+  }
+  std::fprintf(stderr,
+               "replay of %s DIVERGED\n  stored:   %s\n  replayed: %s\n",
+               trace.name.c_str(), trace.jsonl.c_str(), line.c_str());
+  return 2;
+}
+
 int run_spec(const SpecCli& cli) {
   try {
     const auto file = orchestrator::load_campaign_file(cli.spec_path);
@@ -630,6 +858,11 @@ int main(int argc, char** argv) {
   std::string fault_filter;
   nftape::Medium medium = nftape::Medium::kMyrinet;
   bool list_only = false;
+  bool list_faults = false;
+  bool list_scenarios = false;
+  std::string scenario_name;
+  std::string emit_repro_path;
+  std::string replay_path;
   std::string strategy_name;
   long tolerance_us = 24;
   std::uint32_t max_rounds = 12;
@@ -803,6 +1036,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--list") {
       // Deferred past parsing so `--medium fc --list` works in any order.
       list_only = true;
+    } else if (arg == "--list-faults") {
+      list_faults = true;
+    } else if (arg == "--list-scenarios") {
+      list_scenarios = true;
+    } else if (arg == "--scenario") {
+      scenario_name = value();
+      grid_flags_used = true;
+    } else if (arg == "--emit-repro") {
+      emit_repro_path = value();
+      grid_flags_used = true;
+    } else if (arg == "--replay") {
+      replay_path = value();
     } else if (arg == "--help") {
       usage();
       return 0;
@@ -813,6 +1058,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!replay_path.empty()) {
+    // Standalone mode: the trace defines the run; every other campaign
+    // flag would contradict it.
+    if (grid_flags_used || !spec.spec_path.empty() || monitor || dry_run ||
+        list_only || list_faults || list_scenarios) {
+      std::fprintf(stderr, "--replay is standalone; drop the other flags\n\n");
+      usage(stderr);
+      return 1;
+    }
+    return replay_trace(replay_path);
+  }
+  if (!emit_repro_path.empty() && scenario_name.empty()) {
+    std::fprintf(stderr, "--emit-repro requires --scenario\n\n");
+    usage(stderr);
+    return 1;
+  }
+  if (!emit_repro_path.empty() && !strategy_name.empty()) {
+    std::fprintf(stderr,
+                 "--emit-repro minimizes a single static run; drop "
+                 "--strategy\n\n");
+    usage(stderr);
+    return 1;
+  }
   if (monitor_interval_ms > 0 && !monitor) {
     std::fprintf(stderr, "--monitor-interval-ms requires --monitor\n\n");
     usage(stderr);
@@ -869,9 +1137,21 @@ int main(int argc, char** argv) {
     return run_spec(spec);
   }
 
-  if (list_only) {
+  if (list_scenarios) {
+    for (const auto& s : scenario::list_scenarios()) {
+      std::printf("%-15s %-8s %s\n", std::string(s.name).c_str(),
+                  std::string(scenario::to_string(s.medium)).c_str(),
+                  std::string(s.description).c_str());
+    }
+    return 0;
+  }
+  if (list_only || list_faults) {
     for (const auto& f : fault_axis_for(medium)) {
-      std::printf("%s\n", f.name.c_str());
+      if (list_faults) {
+        std::printf("%-15s %s\n", f.name.c_str(), f.description.c_str());
+      } else {
+        std::printf("%s\n", f.name.c_str());
+      }
     }
     return 0;
   }
@@ -901,22 +1181,31 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  sweep.testbed.map_period = sim::milliseconds(100);
-  sweep.testbed.nic_config.rx_processing_time = sim::microseconds(1);
-  sweep.testbed.send_stack_time = sim::microseconds(1);
-  // FC realization: drain receive buffers faster than the 12 us sequence
-  // pace so the healthy path never stalls on credits.
-  sweep.testbed.fc.rx_processing_time = sim::microseconds(1);
-  sweep.base.warmup = sim::milliseconds(10);
+  apply_static_config(sweep);
   sweep.base.duration = sim::milliseconds(duration_ms);
-  sweep.base.drain = sim::milliseconds(10);
-  // Full-capacity bursts (paper §4.2): collisions at the switch outputs
-  // engage STOP/GO flow control, so control-symbol faults have symbols to
-  // corrupt. Jitter makes the seed axis real — replicates differ.
-  sweep.base.workload.udp_interval = sim::microseconds(12);
-  sweep.base.workload.burst_size = 4;
-  sweep.base.workload.jitter = 0.5;
-  sweep.base.workload.payload_size = 256;
+
+  if (!scenario_name.empty()) {
+    const auto scen = scenario::find_scenario(scenario_name);
+    if (!scen) {
+      std::fprintf(stderr, "unknown scenario '%s' (see --list-scenarios)\n",
+                   scenario_name.c_str());
+      return 1;
+    }
+    if (!scenario::compatible(*scen, scenario_medium_for(medium))) {
+      std::fprintf(stderr,
+                   "scenario '%s' drives another medium's protocol objects; "
+                   "it cannot arm on %s\n",
+                   scenario_name.c_str(),
+                   std::string(nftape::to_string(medium)).c_str());
+      return 1;
+    }
+    sweep.base.scenario = *scen;
+  }
+
+  if (!emit_repro_path.empty()) {
+    return emit_repro(std::move(sweep), !fault_filter.empty(),
+                      emit_repro_path);
+  }
 
   // ---------------------------------------------------------------------
   // Adaptive (closed-loop) path: the same fault plane, but a Strategy

@@ -1,0 +1,56 @@
+# Drives run_sweep's reproducer-minimization surface end to end: arm the
+# flow-liar misbehavior scenario on a baseline (fault-free) Myrinet sweep,
+# emit a minimized repro trace, replay it (must confirm the stored record
+# byte-for-byte), then tamper with the trace's seed and check the replay
+# reports divergence instead of silently passing.
+#
+# Usage:
+#   cmake -DSWEEP=<run_sweep> -DWORK=<dir> -P scenario_repro_roundtrip.cmake
+
+foreach(var SWEEP WORK)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}")
+  endif()
+endforeach()
+
+set(trace ${WORK}/flow_liar_repro.json)
+file(REMOVE ${trace})
+
+execute_process(
+  COMMAND ${SWEEP} --scenario flow-liar --duration-ms 10 --workers 1
+          --emit-repro ${trace}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--emit-repro exited '${rc}'\n${out}\n${err}")
+endif()
+if(NOT err MATCHES "minimized [0-9]+ -> [0-9]+ steps in [0-9]+ runs")
+  message(FATAL_ERROR "--emit-repro did not report minimization: ${err}")
+endif()
+if(NOT EXISTS ${trace})
+  message(FATAL_ERROR "--emit-repro wrote no trace at ${trace}")
+endif()
+
+execute_process(
+  COMMAND ${SWEEP} --replay ${trace}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--replay exited '${rc}'\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "byte-identical")
+  message(FATAL_ERROR "--replay did not confirm byte identity:\n${out}")
+endif()
+
+# A different seed is a different run; the replay must say so loudly.
+file(READ ${trace} text)
+string(REGEX REPLACE "\"seed\": [0-9]+" "\"seed\": 987654321" text "${text}")
+set(tampered ${WORK}/flow_liar_repro_tampered.json)
+file(WRITE ${tampered} "${text}")
+execute_process(
+  COMMAND ${SWEEP} --replay ${tampered}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "tampered trace replayed clean:\n${out}")
+endif()
+if(NOT err MATCHES "DIVERGED")
+  message(FATAL_ERROR "tampered replay did not report divergence:\n${out}\n${err}")
+endif()

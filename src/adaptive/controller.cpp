@@ -80,7 +80,7 @@ std::string knob_tag(double value) {
 Controller::Controller(AdaptiveSpec spec, ControllerConfig config)
     : spec_(std::move(spec)), config_(std::move(config)) {
   if (spec_.faults.empty()) {
-    spec_.faults.push_back({"baseline", std::nullopt});
+    spec_.faults.push_back({"baseline", std::nullopt, ""});
   }
   if (spec_.directions.empty()) {
     spec_.directions = {orchestrator::FaultDirection::kBoth};

@@ -25,6 +25,13 @@ bool FcPort::send(FcFrame frame) {
   return true;
 }
 
+void FcPort::inject_rrdy(std::size_t count) {
+  if (tx_ == nullptr) return;
+  for (std::size_t i = 0; i < count; ++i) {
+    tx_->transmit(ordered_set_symbols(OrderedSet::kRRdy));
+  }
+}
+
 void FcPort::schedule_pump_tx() {
   if (tx_pump_scheduled_) return;
   tx_pump_scheduled_ = true;

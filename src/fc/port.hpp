@@ -78,6 +78,15 @@ class FcPort final : public link::SymbolSink {
   /// Queues a frame. Returns false when the send queue is full.
   bool send(FcFrame frame);
 
+  /// Scenario hook: transmits `count` R_RDY ordered sets no freed buffer
+  /// backs — lying flow control. Each one hands the peer a BB credit it
+  /// should not have, letting it overrun our advertised receive buffers.
+  /// Bypasses the transmit queue (ordered sets interleave with frames on a
+  /// real link) and leaves rrdy_sent untouched: stats record honest
+  /// protocol behavior, the injected lies are accounted by the scenario
+  /// driver as injections.
+  void inject_rrdy(std::size_t count);
+
   using FrameHandler = std::function<void(FcFrame frame, sim::SimTime when)>;
   void on_frame(FrameHandler handler) { handler_ = std::move(handler); }
 

@@ -57,8 +57,10 @@ void HostInterface::pump_tx() {
     if (!gate_.open()) return;  // resumes via the gate callback
     if (tx_offset_ >= tx_current_.size()) {
       if (tx_queue_.empty()) return;
-      frame_symbols_into(tx_queue_.front(), tx_current_);
+      std::vector<std::uint8_t> bytes = std::move(tx_queue_.front());
       tx_queue_.pop_front();
+      if (tx_mutator_) bytes = tx_mutator_(std::move(bytes));
+      frame_symbols_into(bytes, tx_current_);
       tx_offset_ = 0;
     }
     const sim::SimTime free_at = tx_->transmitter_free_at();

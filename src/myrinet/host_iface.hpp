@@ -86,6 +86,15 @@ class HostInterface final : public link::SymbolSink {
   using RxErrorHandler = std::function<void(RxError error, sim::SimTime when)>;
   void on_rx_error(RxErrorHandler handler) { rx_error_ = std::move(handler); }
 
+  /// Scenario hook: transform a queued packet's serialized bytes (route
+  /// prefix through trailing CRC-8) just before framing onto the wire —
+  /// e.g. truncate the payload and repatch the CRC so the shortened frame
+  /// is still wire-valid. Like the deliver/rx-error handlers this is
+  /// per-run wiring, not snapshot state. Pass nullptr to uninstall.
+  using TxMutator =
+      std::function<std::vector<std::uint8_t>(std::vector<std::uint8_t>)>;
+  void set_tx_mutator(TxMutator mutator) { tx_mutator_ = std::move(mutator); }
+
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
@@ -162,6 +171,7 @@ class HostInterface final : public link::SymbolSink {
 
   DeliverHandler deliver_;
   RxErrorHandler rx_error_;
+  TxMutator tx_mutator_;
   Stats stats_;
 };
 

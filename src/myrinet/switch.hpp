@@ -85,6 +85,13 @@ class Switch {
   /// Optional event trace (long timeouts, invalid routes); not owned.
   void set_trace(sim::TraceLog* trace) noexcept { trace_ = trace; }
 
+  /// Scenario hook: emits a flow-control symbol on `port`'s output channel
+  /// regardless of the slack buffer's true state — the mechanism behind
+  /// lying-GO/lying-STOP misbehavior scenarios. The slack's own stop/go
+  /// bookkeeping is deliberately not updated: the switch believes one
+  /// thing, the wire says another.
+  void inject_flow(std::size_t port, ControlSymbol c) { send_flow(port, c); }
+
   /// Failure-relevant port events, timestamped for the manifestation
   /// analyzer. Counters in PortStats record that these happened; the hook
   /// records *when*.

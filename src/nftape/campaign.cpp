@@ -14,6 +14,7 @@ namespace {
 struct FabricGuard {
   Fabric& fabric;
   ~FabricGuard() {
+    fabric.disarm_scenario();
     fabric.detach_monitors();
     fabric.clear_workload();
   }
@@ -85,6 +86,12 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
   fabric_.start_workload(spec.workload, seed, analyzer);
 
   settle_checked(spec.warmup, control, &elapsed);
+  // Scenario steps are scheduled relative to the window start; arming after
+  // the warmup settle keeps every firing strictly inside (window_begin,
+  // window_end] where the analyzer's finalize window claims it.
+  if (spec.scenario) {
+    fabric_.arm_scenario(*spec.scenario, seed, analyzer);
+  }
   const FabricCounters before = fabric_.snapshot();
   const sim::SimTime window_begin = fabric_.sim().now();
   settle_checked(spec.duration, control, &elapsed);
@@ -92,6 +99,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
   settle_checked(spec.drain, control, &elapsed);
   const FabricCounters after = fabric_.snapshot();
   const sim::SimTime window_end = fabric_.sim().now();
+  fabric_.disarm_scenario();
 
   // Disarm the injector for whoever runs next, then give the network time
   // to recover so the next campaign starts from a known good state even if
@@ -120,6 +128,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
   r.fc_credit_stalls = after.credit_stalls - before.credit_stalls;
   r.fc_sequences_aborted =
       after.sequences_aborted - before.sequences_aborted;
+  r.scenario_steps_fired = after.scenario_steps - before.scenario_steps;
   r.events_executed = fabric_.sim().executed_events() - events_begin;
 
   const auto outcome =

@@ -27,6 +27,7 @@
 #include "core/injector_config.hpp"
 #include "nftape/medium.hpp"
 #include "nftape/testbed.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/time.hpp"
 
 namespace hsfi::nftape {
@@ -73,6 +74,13 @@ struct CampaignSpec {
   /// Settle after disarming, before the medium's recovery settle.
   sim::Duration disarm_guard = sim::milliseconds(30);
   WorkloadSpec workload;
+  /// Protocol-level misbehavior program, armed at the measurement-window
+  /// start (after warmup) and disarmed at window end: stale/forged mapping
+  /// advertisements, lying flow control, truncated-but-CRC-valid frames,
+  /// duplicated/reordered FC-2 sequences. Step kinds must match `medium`.
+  /// Each step firing is recorded as one injection, so the manifestation
+  /// breakdown reconciles against injector firings + scenario firings.
+  std::optional<scenario::ScenarioSpec> scenario;
   /// Seed for everything stochastic in this run: the workload generators and
   /// the per-host RNG streams reset by `Testbed::reset_to_known_good`. With
   /// an explicit seed a single-threaded sequence of N runs on one testbed is
@@ -150,6 +158,9 @@ struct CampaignResult {
   /// on top of the shared taxonomy.
   std::uint64_t fc_credit_stalls = 0;
   std::uint64_t fc_sequences_aborted = 0;
+  /// Scenario-driver step firings inside the window (already folded into
+  /// `injections`; zero when the spec carried no scenario).
+  std::uint64_t scenario_steps_fired = 0;
   /// Kernel events executed over the whole run (reset through recovery).
   /// Deterministic in simulated time; the bench harness divides it by wall
   /// time for events/sec.

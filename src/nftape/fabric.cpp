@@ -195,6 +195,23 @@ void MyrinetFabric::clear_workload() {
   sinks_.clear();
 }
 
+void MyrinetFabric::arm_scenario(const scenario::ScenarioSpec& spec,
+                                 std::uint64_t seed,
+                                 analysis::ManifestationAnalyzer& analyzer) {
+  std::vector<scenario::MyrinetNodeHooks> hooks;
+  hooks.reserve(bed_.node_count());
+  for (std::size_t i = 0; i < bed_.node_count(); ++i) {
+    hooks.push_back({&bed_.nic(i), &bed_.host(i).mcp()});
+  }
+  scenario_driver_ = std::make_unique<scenario::MyrinetScenarioDriver>(
+      bed_.sim(), bed_.network_switch(), std::move(hooks));
+  scenario_driver_->arm(spec, seed, analyzer);
+}
+
+void MyrinetFabric::disarm_scenario() {
+  if (scenario_driver_) scenario_driver_->disarm();
+}
+
 FabricCounters MyrinetFabric::snapshot() const {
   FabricCounters s;
   for (std::size_t i = 0; i < bed_.node_count(); ++i) {
@@ -222,6 +239,10 @@ FabricCounters MyrinetFabric::snapshot() const {
         bed_.injector().fifo_stats(core::Direction::kLeftToRight).injections;
     s.injections +=
         bed_.injector().fifo_stats(core::Direction::kRightToLeft).injections;
+  }
+  if (scenario_driver_) {
+    s.scenario_steps = scenario_driver_->fired();
+    s.injections += s.scenario_steps;
   }
   return s;
 }

@@ -22,6 +22,7 @@
 #include "nftape/campaign.hpp"
 #include "nftape/medium.hpp"
 #include "nftape/testbed.hpp"
+#include "scenario/driver_myrinet.hpp"
 #include "sim/simulator.hpp"
 
 namespace hsfi::nftape {
@@ -47,6 +48,9 @@ struct FabricCounters {
   // Medium-specific (zero on Myrinet):
   std::uint64_t credit_stalls = 0;      ///< BB-credit exhaustion events
   std::uint64_t sequences_aborted = 0;  ///< FC-2 sequence aborts/rejections
+  /// Scenario-driver step firings, already folded into `injections` (each
+  /// firing records one injection so the 8-class breakdown reconciles).
+  std::uint64_t scenario_steps = 0;
 };
 
 /// Opaque capture of a settled fabric: the simulator event queue plus every
@@ -121,6 +125,21 @@ class Fabric {
   /// runner clears only after the final snapshot).
   virtual void clear_workload() = 0;
 
+  /// Installs the scenario driver's protocol hooks and schedules `spec`'s
+  /// steps relative to now (the runner arms at the measurement-window
+  /// start, so step.at offsets land inside the window). Firings count as
+  /// injections toward `analyzer` and surface as FabricCounters.
+  /// scenario_steps. Base implementation: scenarios unsupported, no-op.
+  virtual void arm_scenario(const scenario::ScenarioSpec& spec,
+                            std::uint64_t seed,
+                            analysis::ManifestationAnalyzer& analyzer) {
+    (void)spec;
+    (void)seed;
+    (void)analyzer;
+  }
+  /// Uninstalls the hooks and neutralizes unfired steps. Idempotent.
+  virtual void disarm_scenario() {}
+
   [[nodiscard]] virtual FabricCounters snapshot() const = 0;
   /// How long after disarming the medium needs to re-reach the known good
   /// state (Myrinet: one mapping round; FC: in-flight drain).
@@ -173,6 +192,9 @@ class MyrinetFabric final : public Fabric {
                       analysis::ManifestationAnalyzer& analyzer) override;
   void stop_workload() override;
   void clear_workload() override;
+  void arm_scenario(const scenario::ScenarioSpec& spec, std::uint64_t seed,
+                    analysis::ManifestationAnalyzer& analyzer) override;
+  void disarm_scenario() override;
   [[nodiscard]] FabricCounters snapshot() const override;
   [[nodiscard]] sim::Duration recovery_time() const override;
   [[nodiscard]] std::unique_ptr<FabricSnapshot> capture_snapshot() override;
@@ -183,6 +205,7 @@ class MyrinetFabric final : public Fabric {
   Testbed& bed_;
   std::vector<std::unique_ptr<host::UdpSink>> sinks_;
   std::vector<std::unique_ptr<host::UdpFlood>> floods_;
+  std::unique_ptr<scenario::MyrinetScenarioDriver> scenario_driver_;
 };
 
 /// Builds the fabric realization for `medium` from one medium-neutral

@@ -276,6 +276,7 @@ void FcFabric::detach_monitors() {
 
 void FcFabric::start_workload(const WorkloadSpec& workload, std::uint64_t seed,
                               analysis::ManifestationAnalyzer& analyzer) {
+  workload_ = workload;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     Node& node = *nodes_[i];
     node.delivered = 0;
@@ -349,6 +350,27 @@ void FcFabric::clear_workload() {
   }
 }
 
+void FcFabric::arm_scenario(const scenario::ScenarioSpec& spec,
+                            std::uint64_t seed,
+                            analysis::ManifestationAnalyzer& analyzer) {
+  std::vector<scenario::FcNodeHooks> hooks;
+  hooks.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    hooks.push_back({nodes_[i]->port.get(), port_id_of(i)});
+  }
+  scenario::FcScenarioDriver::Params params;
+  params.frame_chunk = config_.fc.frame_chunk;
+  params.payload_size = workload_.payload_size;
+  params.payload_fill = workload_.payload_fill;
+  scenario_driver_ = std::make_unique<scenario::FcScenarioDriver>(
+      sim_, std::move(hooks), params);
+  scenario_driver_->arm(spec, seed, analyzer);
+}
+
+void FcFabric::disarm_scenario() {
+  if (scenario_driver_) scenario_driver_->disarm();
+}
+
 FabricCounters FcFabric::snapshot() const {
   FabricCounters s;
   for (const auto& node : nodes_) {
@@ -379,6 +401,10 @@ FabricCounters FcFabric::snapshot() const {
         injector_->fifo_stats(core::Direction::kLeftToRight).injections;
     s.injections +=
         injector_->fifo_stats(core::Direction::kRightToLeft).injections;
+  }
+  if (scenario_driver_) {
+    s.scenario_steps = scenario_driver_->fired();
+    s.injections += s.scenario_steps;
   }
   return s;
 }

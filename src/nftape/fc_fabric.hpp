@@ -22,6 +22,7 @@
 #include "fc/sequence.hpp"
 #include "link/channel.hpp"
 #include "nftape/fabric.hpp"
+#include "scenario/driver_fc.hpp"
 #include "sim/simulator.hpp"
 
 namespace hsfi::nftape {
@@ -67,6 +68,9 @@ class FcFabric final : public Fabric {
                       analysis::ManifestationAnalyzer& analyzer) override;
   void stop_workload() override;
   void clear_workload() override;
+  void arm_scenario(const scenario::ScenarioSpec& spec, std::uint64_t seed,
+                    analysis::ManifestationAnalyzer& analyzer) override;
+  void disarm_scenario() override;
   [[nodiscard]] FabricCounters snapshot() const override;
   [[nodiscard]] sim::Duration recovery_time() const override;
   [[nodiscard]] std::unique_ptr<FabricSnapshot> capture_snapshot() override;
@@ -95,6 +99,10 @@ class FcFabric final : public Fabric {
   std::unique_ptr<core::SerialControlHost> control_;
   std::vector<std::unique_ptr<SequenceFlood>> floods_;
   analysis::ManifestationAnalyzer* analyzer_ = nullptr;
+  /// Payload shape of the current workload, so injected scenario sequences
+  /// can match (or deliberately mismatch) what the reassembler checks.
+  WorkloadSpec workload_;
+  std::unique_ptr<scenario::FcScenarioDriver> scenario_driver_;
 };
 
 }  // namespace hsfi::nftape

@@ -83,6 +83,7 @@ struct TargetSettings {
   std::optional<double> jitter;
   std::optional<bool> program_via_serial;
   std::optional<std::vector<GridPoint>> grid;
+  std::optional<scenario::ScenarioSpec> scenario;
 
   /// Overlay: fields set in `over` replace this one's.
   void apply(const TargetSettings& over) {
@@ -105,6 +106,7 @@ struct TargetSettings {
     take(jitter, over.jitter);
     take(program_via_serial, over.program_via_serial);
     take(grid, over.grid);
+    take(scenario, over.scenario);
   }
 };
 
@@ -130,11 +132,83 @@ GridPoint parse_grid_point(const JsonValue& v, const std::string& ctx) {
     } else if (key == "payload_size") {
       p.payload_size = static_cast<std::size_t>(field_u64(value, fctx));
     } else {
-      bail("unknown key '" + key + "' in " + ctx);
+      bail("unknown key '" + fctx + "'");
     }
   }
   if (p.name.empty()) bail(ctx + " needs a non-empty \"name\"");
   return p;
+}
+
+/// The "scenario" block: a registry name alone resolves to the built-in
+/// step program; an explicit "steps" array defines a custom one. Medium
+/// compatibility is checked at resolve_target, where the medium is known.
+scenario::ScenarioSpec parse_scenario(const JsonValue& v,
+                                      const std::string& ctx) {
+  if (v.kind != JsonValue::Kind::kObject) bail(ctx + " must be an object");
+  scenario::ScenarioSpec spec;
+  const JsonValue* steps = nullptr;
+  std::string steps_ctx;
+  for (const auto& [key, value] : v.fields) {
+    const std::string fctx = ctx + "." + key;
+    if (key == "name") {
+      spec.name = field_str(value, fctx);
+    } else if (key == "steps") {
+      if (value.kind != JsonValue::Kind::kArray) {
+        bail(fctx + " must be an array of step objects");
+      }
+      steps = &value;
+      steps_ctx = fctx;
+    } else {
+      bail("unknown key '" + fctx + "'");
+    }
+  }
+  if (spec.name.empty()) bail(ctx + " needs a non-empty \"name\"");
+  if (steps == nullptr) {
+    const auto found = scenario::find_scenario(spec.name);
+    if (!found) {
+      bail(ctx + ": unknown scenario '" + spec.name +
+           "' (run_sweep --list-scenarios prints the registry; or define "
+           "\"steps\" inline)");
+    }
+    return *found;
+  }
+  if (steps->items.empty()) bail(steps_ctx + " must not be empty");
+  for (std::size_t i = 0; i < steps->items.size(); ++i) {
+    const auto& sv = steps->items[i];
+    const std::string sctx = steps_ctx + "[" + std::to_string(i) + "]";
+    if (sv.kind != JsonValue::Kind::kObject) bail(sctx + " must be an object");
+    scenario::Step step;
+    bool have_kind = false;
+    bool have_at = false;
+    for (const auto& [key, value] : sv.fields) {
+      const std::string fctx = sctx + "." + key;
+      if (key == "kind") {
+        const std::string k = field_str(value, fctx);
+        const auto parsed = scenario::parse_step_kind(k);
+        if (!parsed) bail(fctx + ": unknown step kind '" + k + "'");
+        step.kind = *parsed;
+        have_kind = true;
+      } else if (key == "at_ms") {
+        step.at = field_ms(value, fctx);
+        // Steps are window-relative; at 0 the firing would land exactly on
+        // window_begin, which finalize's (begin, end] window excludes.
+        if (step.at <= 0) bail(fctx + " must be positive");
+        have_at = true;
+      } else if (key == "node") {
+        step.node = static_cast<std::uint32_t>(field_u64(value, fctx));
+      } else if (key == "count") {
+        const auto n = field_u64(value, fctx);
+        if (n == 0) bail(fctx + " must be positive");
+        step.count = n;
+      } else {
+        bail("unknown key '" + fctx + "'");
+      }
+    }
+    if (!have_kind) bail(sctx + " needs a \"kind\"");
+    if (!have_at) bail(sctx + " needs a positive \"at_ms\"");
+    spec.steps.push_back(step);
+  }
+  return spec;
 }
 
 TargetSettings parse_target_settings(const JsonValue& v,
@@ -211,18 +285,20 @@ TargetSettings parse_target_settings(const JsonValue& v,
       }
       if (grid.empty()) bail(fctx + " must not be empty");
       s.grid = std::move(grid);
+    } else if (key == "scenario") {
+      s.scenario = parse_scenario(value, fctx);
     } else {
-      bail("unknown key '" + key + "' in " + ctx);
+      bail("unknown key '" + fctx + "'");
     }
   }
   return s;
 }
 
-StrategySpec parse_strategy(const JsonValue& v) {
-  if (v.kind != JsonValue::Kind::kObject) bail("strategy must be an object");
+StrategySpec parse_strategy(const JsonValue& v, const std::string& ctx) {
+  if (v.kind != JsonValue::Kind::kObject) bail(ctx + " must be an object");
   StrategySpec s;
   for (const auto& [key, value] : v.fields) {
-    const std::string fctx = "strategy." + key;
+    const std::string fctx = ctx + "." + key;
     if (key == "name") {
       s.name = field_str(value, fctx);
     } else if (key == "knob") {
@@ -242,11 +318,11 @@ StrategySpec parse_strategy(const JsonValue& v) {
     } else if (key == "target_count") {
       s.target_count = field_u64(value, fctx);
     } else {
-      bail("unknown key '" + key + "' in strategy");
+      bail("unknown key '" + fctx + "'");
     }
   }
   if (s.name != "fixed" && s.name != "bisect" && s.name != "coverage") {
-    bail("strategy.name must be fixed, bisect, or coverage, got '" + s.name +
+    bail(ctx + ".name must be fixed, bisect, or coverage, got '" + s.name +
          "'");
   }
   return s;
@@ -291,6 +367,18 @@ CampaignTarget resolve_target(const TargetSettings& s, std::size_t ordinal,
   sweep.base.workload.payload_size = s.payload_size.value_or(256);
   sweep.base.workload.jitter = s.jitter.value_or(0.5);
 
+  if (s.scenario.has_value()) {
+    const auto scenario_medium = medium == nftape::Medium::kFc
+                                     ? scenario::Medium::kFc
+                                     : scenario::Medium::kMyrinet;
+    if (!scenario::compatible(*s.scenario, scenario_medium)) {
+      bail("target '" + target.name + "': scenario '" + s.scenario->name +
+           "' has steps for the wrong medium (target is " +
+           std::string(nftape::to_string(medium)) + ")");
+    }
+    sweep.base.scenario = *s.scenario;
+  }
+
   auto axis = standard_fault_axis(medium);
   if (s.faults.has_value()) {
     for (const auto& want : *s.faults) {
@@ -331,30 +419,45 @@ CampaignTarget resolve_target(const TargetSettings& s, std::size_t ordinal,
 std::vector<FaultPoint> standard_fault_axis(nftape::Medium medium) {
   if (medium == nftape::Medium::kFc) {
     return {
-        {"seu-00FF", nftape::random_bit_flip_seu(0x00FF)},
-        {"fill-flip", nftape::fc_fill_corruption(0x5A, 0x003F)},
-        {"comma-strike", nftape::fc_comma_strike(0x00FF)},
+        {"seu-00FF", nftape::random_bit_flip_seu(0x00FF),
+         "random single-bit flips on the stream (LFSR-thinned, mask 00FF)"},
+        {"fill-flip", nftape::fc_fill_corruption(0x5A, 0x003F),
+         "bit flips anchored on payload fill bytes; CRC-32 must catch each"},
+        {"comma-strike", nftape::fc_comma_strike(0x00FF),
+         "corrupt K28.5 commas, breaking ordered-set alignment"},
         {"sofi3-blank",
-         nftape::fc_ordered_set_corruption(fc::OrderedSet::kSofI3, 0x000F)},
+         nftape::fc_ordered_set_corruption(fc::OrderedSet::kSofI3, 0x000F),
+         "mangle SOFi3 delimiters so sequence-opening frames never start"},
         {"eoft-blank",
-         nftape::fc_ordered_set_corruption(fc::OrderedSet::kEofT, 0x000F)},
+         nftape::fc_ordered_set_corruption(fc::OrderedSet::kEofT, 0x000F),
+         "mangle EOFt delimiters so sequences never terminate cleanly"},
         {"rrdy-drop",
-         nftape::fc_ordered_set_corruption(fc::OrderedSet::kRRdy, 0x000F)},
-        {"domain-ee", nftape::fc_domain_corruption(0xEE, 0x0003)},
+         nftape::fc_ordered_set_corruption(fc::OrderedSet::kRRdy, 0x000F),
+         "corrupt R_RDY ordered sets, silently destroying BB credits"},
+        {"domain-ee", nftape::fc_domain_corruption(0xEE, 0x0003),
+         "rewrite the destination domain byte to EE (misrouting)"},
     };
   }
   const auto sym = [](ControlSymbol a, ControlSymbol b) {
     return nftape::control_symbol_corruption(a, b);
   };
   return {
-      {"stop-idle", sym(ControlSymbol::kStop, ControlSymbol::kIdle)},
-      {"stop-gap", sym(ControlSymbol::kStop, ControlSymbol::kGap)},
-      {"stop-go", sym(ControlSymbol::kStop, ControlSymbol::kGo)},
-      {"gap-go", sym(ControlSymbol::kGap, ControlSymbol::kGo)},
-      {"gap-idle", sym(ControlSymbol::kGap, ControlSymbol::kIdle)},
-      {"go-stop", sym(ControlSymbol::kGo, ControlSymbol::kStop)},
-      {"marker-msb", nftape::marker_msb_corruption()},
-      {"seu-00FF", nftape::random_bit_flip_seu(0x00FF)},
+      {"stop-idle", sym(ControlSymbol::kStop, ControlSymbol::kIdle),
+       "STOP becomes IDLE: backpressure lost, slack buffers overrun"},
+      {"stop-gap", sym(ControlSymbol::kStop, ControlSymbol::kGap),
+       "STOP becomes GAP: backpressure lost inside packet gaps"},
+      {"stop-go", sym(ControlSymbol::kStop, ControlSymbol::kGo),
+       "STOP becomes GO: the halt order inverted into full speed"},
+      {"gap-go", sym(ControlSymbol::kGap, ControlSymbol::kGo),
+       "GAP becomes GO: packet boundaries dissolve into flow control"},
+      {"gap-idle", sym(ControlSymbol::kGap, ControlSymbol::kIdle),
+       "GAP becomes IDLE: tail-CRC boundaries vanish"},
+      {"go-stop", sym(ControlSymbol::kGo, ControlSymbol::kStop),
+       "GO becomes STOP: false backpressure wedges the sender"},
+      {"marker-msb", nftape::marker_msb_corruption(),
+       "set the destination marker MSB: consumed and handled as an error"},
+      {"seu-00FF", nftape::random_bit_flip_seu(0x00FF),
+       "random single-bit flips on the stream (LFSR-thinned, mask 00FF)"},
   };
 }
 
@@ -396,7 +499,7 @@ CampaignFile parse_campaign_file(std::string_view text) {
     } else if (key == "targets") {
       targets = &value;
     } else if (key == "strategy") {
-      file.strategy = parse_strategy(value);
+      file.strategy = parse_strategy(value, "strategy");
     } else {
       bail("unknown key '" + key + "' at top level");
     }

@@ -100,9 +100,16 @@ struct CampaignFile {
 /// (["to-switch"|"from-switch"|"both"]), "replicates", "duration_ms",
 /// "warmup_ms", "drain_ms", "startup_settle_ms" (absent/0 = auto),
 /// "map_period_ms", "udp_interval_us", "burst_size", "payload_size",
-/// "jitter", "program_via_serial", and "grid" — a list of named intensity
+/// "jitter", "program_via_serial", "grid" — a list of named intensity
 /// points {"name", "udp_interval_us", "burst_size", "payload_size"}
-/// defaulting to the target's resolved workload.
+/// defaulting to the target's resolved workload — and "scenario": a
+/// protocol-misbehavior program, either a registry name
+/// ({"name": "flow-liar"}) or explicit steps ({"name": "...", "steps":
+/// [{"kind": "rrdy-flood", "at_ms": 1.5, "node": 0, "count": 24}, ...]});
+/// step kinds must match the target's medium.
+///
+/// Unknown keys report their full JSON path ("targets[2].strategy.knob"),
+/// so a typo deep in an overlay is findable without a diff.
 [[nodiscard]] CampaignFile parse_campaign_file(std::string_view text);
 
 /// Reads and parses `path`. Throws CampaignFileError (file missing or any

@@ -1,0 +1,242 @@
+#include "orchestrator/repro.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/manifestation.hpp"
+#include "orchestrator/campaign_file.hpp"
+#include "orchestrator/json_value.hpp"
+#include "orchestrator/jsonl.hpp"
+
+namespace hsfi::orchestrator {
+
+namespace {
+
+constexpr std::string_view kMagic = "hsfi-repro-v1";
+
+[[noreturn]] void bail(const std::string& what) {
+  throw CampaignFileError("repro trace: " + what);
+}
+
+std::string field_str(const JsonValue& v, const std::string& ctx) {
+  if (v.kind != JsonValue::Kind::kString) bail(ctx + " must be a string");
+  return v.text;
+}
+
+std::uint64_t field_u64(const JsonValue& v, const std::string& ctx) {
+  std::uint64_t out = 0;
+  if (!v.as_u64(out)) bail(ctx + " must be a non-negative integer");
+  return out;
+}
+
+double field_num(const JsonValue& v, const std::string& ctx) {
+  double out = 0;
+  if (!v.as_double(out)) bail(ctx + " must be a number");
+  return out;
+}
+
+sim::Duration field_ms(const JsonValue& v, const std::string& ctx) {
+  const double ms = field_num(v, ctx);
+  if (ms < 0) bail(ctx + " must be non-negative");
+  return sim::nanoseconds(std::llround(ms * 1e6));
+}
+
+/// Fixed-point formatting, like JsonObject::add_fixed: deterministic bytes
+/// so emit -> parse -> emit is the identity on the file.
+std::string fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+scenario::ScenarioSpec parse_scenario_block(const JsonValue& v,
+                                            const std::string& ctx) {
+  if (v.kind != JsonValue::Kind::kObject) bail(ctx + " must be an object");
+  scenario::ScenarioSpec spec;
+  const JsonValue* steps = nullptr;
+  std::string steps_ctx;
+  for (const auto& [key, value] : v.fields) {
+    const std::string fctx = ctx + "." + key;
+    if (key == "name") {
+      spec.name = field_str(value, fctx);
+    } else if (key == "steps") {
+      if (value.kind != JsonValue::Kind::kArray) {
+        bail(fctx + " must be an array");
+      }
+      steps = &value;
+      steps_ctx = fctx;
+    } else {
+      bail("unknown key '" + fctx + "'");
+    }
+  }
+  if (spec.name.empty()) bail(ctx + " needs a non-empty \"name\"");
+  if (steps == nullptr || steps->items.empty()) {
+    bail(ctx + " needs a non-empty \"steps\" array");
+  }
+  for (std::size_t i = 0; i < steps->items.size(); ++i) {
+    const auto& sv = steps->items[i];
+    const std::string sctx = steps_ctx + "[" + std::to_string(i) + "]";
+    if (sv.kind != JsonValue::Kind::kObject) bail(sctx + " must be an object");
+    scenario::Step step;
+    bool have_kind = false;
+    for (const auto& [key, value] : sv.fields) {
+      const std::string fctx = sctx + "." + key;
+      if (key == "kind") {
+        const auto parsed = scenario::parse_step_kind(field_str(value, fctx));
+        if (!parsed) bail(fctx + ": unknown step kind");
+        step.kind = *parsed;
+        have_kind = true;
+      } else if (key == "at_ms") {
+        step.at = field_ms(value, fctx);
+      } else if (key == "node") {
+        step.node = static_cast<std::uint32_t>(field_u64(value, fctx));
+      } else if (key == "count") {
+        step.count = field_u64(value, fctx);
+      } else {
+        bail("unknown key '" + fctx + "'");
+      }
+    }
+    if (!have_kind) bail(sctx + " needs a \"kind\"");
+    if (step.at <= 0) bail(sctx + " needs a positive \"at_ms\"");
+    spec.steps.push_back(step);
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::string dominant_class(const nftape::CampaignResult& result) {
+  std::uint64_t best = 0;
+  analysis::Manifestation which = analysis::Manifestation::kMasked;
+  for (const auto m : analysis::all_manifestations()) {
+    if (m == analysis::Manifestation::kMasked) continue;
+    const auto count = result.manifestations[m];
+    if (count > best) {
+      best = count;
+      which = m;
+    }
+  }
+  if (best == 0) return "";
+  return std::string(analysis::to_string(which));
+}
+
+std::string to_json(const ReproTrace& trace) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"magic\": \"" << kMagic << "\",\n";
+  out << "  \"name\": \"" << json_escape(trace.name) << "\",\n";
+  out << "  \"medium\": \"" << nftape::to_string(trace.medium) << "\",\n";
+  out << "  \"seed\": " << trace.seed << ",\n";
+  out << "  \"fault\": \"" << json_escape(trace.fault) << "\",\n";
+  out << "  \"direction\": \"" << to_string(trace.direction) << "\",\n";
+  out << "  \"warmup_ms\": " << fixed(sim::to_milliseconds(trace.warmup), 6)
+      << ",\n";
+  out << "  \"duration_ms\": "
+      << fixed(sim::to_milliseconds(trace.duration), 6) << ",\n";
+  out << "  \"drain_ms\": " << fixed(sim::to_milliseconds(trace.drain), 6)
+      << ",\n";
+  out << "  \"udp_interval_us\": "
+      << fixed(sim::to_microseconds(trace.udp_interval), 3) << ",\n";
+  out << "  \"payload_size\": " << trace.payload_size << ",\n";
+  out << "  \"burst_size\": " << trace.burst_size << ",\n";
+  out << "  \"jitter\": " << fixed(trace.jitter, 6) << ",\n";
+  out << "  \"scenario\": {\"name\": \"" << json_escape(trace.scenario.name)
+      << "\", \"steps\": [";
+  for (std::size_t i = 0; i < trace.scenario.steps.size(); ++i) {
+    const auto& s = trace.scenario.steps[i];
+    if (i != 0) out << ", ";
+    out << "\n    {\"kind\": \"" << scenario::to_string(s.kind)
+        << "\", \"at_ms\": " << fixed(sim::to_milliseconds(s.at), 6)
+        << ", \"node\": " << s.node << ", \"count\": " << s.count << "}";
+  }
+  out << "\n  ]},\n";
+  out << "  \"expect\": \"" << json_escape(trace.expect) << "\",\n";
+  out << "  \"jsonl\": \"" << json_escape(trace.jsonl) << "\"\n";
+  out << "}\n";
+  return out.str();
+}
+
+ReproTrace parse_repro_trace(std::string_view text) {
+  std::string error;
+  const auto doc = parse_json(text, &error);
+  if (!doc) bail(error);
+  if (doc->kind != JsonValue::Kind::kObject) bail("document must be an object");
+
+  ReproTrace trace;
+  bool have_magic = false, have_scenario = false;
+  for (const auto& [key, value] : doc->fields) {
+    if (key == "magic") {
+      const auto magic = field_str(value, "magic");
+      if (magic != kMagic) {
+        bail("unsupported magic '" + magic + "' (want " + std::string(kMagic) +
+             ")");
+      }
+      have_magic = true;
+    } else if (key == "name") {
+      trace.name = field_str(value, "name");
+    } else if (key == "medium") {
+      const auto m = nftape::parse_medium(field_str(value, "medium"));
+      if (!m) bail("medium: unknown medium");
+      trace.medium = *m;
+    } else if (key == "seed") {
+      trace.seed = field_u64(value, "seed");
+    } else if (key == "fault") {
+      trace.fault = field_str(value, "fault");
+    } else if (key == "direction") {
+      const auto d = field_str(value, "direction");
+      if (d == "to-switch") {
+        trace.direction = FaultDirection::kToSwitch;
+      } else if (d == "from-switch") {
+        trace.direction = FaultDirection::kFromSwitch;
+      } else if (d == "both") {
+        trace.direction = FaultDirection::kBoth;
+      } else {
+        bail("direction: unknown direction '" + d + "'");
+      }
+    } else if (key == "warmup_ms") {
+      trace.warmup = field_ms(value, "warmup_ms");
+    } else if (key == "duration_ms") {
+      trace.duration = field_ms(value, "duration_ms");
+    } else if (key == "drain_ms") {
+      trace.drain = field_ms(value, "drain_ms");
+    } else if (key == "udp_interval_us") {
+      const double us = field_num(value, "udp_interval_us");
+      if (us <= 0) bail("udp_interval_us must be positive");
+      trace.udp_interval = sim::nanoseconds(std::llround(us * 1e3));
+    } else if (key == "payload_size") {
+      trace.payload_size =
+          static_cast<std::size_t>(field_u64(value, "payload_size"));
+    } else if (key == "burst_size") {
+      trace.burst_size =
+          static_cast<std::size_t>(field_u64(value, "burst_size"));
+    } else if (key == "jitter") {
+      trace.jitter = field_num(value, "jitter");
+    } else if (key == "scenario") {
+      trace.scenario = parse_scenario_block(value, "scenario");
+      have_scenario = true;
+    } else if (key == "expect") {
+      trace.expect = field_str(value, "expect");
+    } else if (key == "jsonl") {
+      trace.jsonl = field_str(value, "jsonl");
+    } else {
+      bail("unknown key '" + key + "'");
+    }
+  }
+  if (!have_magic) bail("\"magic\" is required");
+  if (trace.name.empty()) bail("\"name\" is required");
+  if (!have_scenario) bail("\"scenario\" is required");
+  if (trace.jsonl.empty()) bail("\"jsonl\" is required");
+  return trace;
+}
+
+ReproTrace load_repro_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) bail("cannot open '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_repro_trace(text.str());
+}
+
+}  // namespace hsfi::orchestrator

@@ -134,6 +134,8 @@ std::string to_jsonl(const RunRecord& r, bool include_timing) {
     o.add_u64("round", r.round);
     o.add("strategy", r.strategy);
   }
+  // Scenario provenance only when the run carried one, same rule again.
+  if (!r.scenario.empty()) o.add("scenario", r.scenario);
   o.add("outcome", to_string(r.outcome));
   o.add_i64("attempts", r.attempts);
   o.add_i64("timeouts", r.timeouts);
@@ -165,6 +167,7 @@ std::string to_jsonl(const RunRecord& r, bool include_timing) {
       o.add_u64("fc_credit_stalls", c.fc_credit_stalls);
       o.add_u64("fc_seq_aborts", c.fc_sequences_aborted);
     }
+    if (!r.scenario.empty()) o.add_u64("steps", c.scenario_steps_fired);
   }
   if (include_timing) o.add_fixed("wall_ms", r.wall_ms, 3);
   return o.str();
@@ -261,6 +264,7 @@ void stamp_identity(const RunSpec& run, RunRecord& rec) {
   rec.medium = run.campaign.medium;
   rec.round = run.round;
   rec.strategy = run.strategy;
+  if (run.campaign.scenario) rec.scenario = run.campaign.scenario->name;
 }
 
 }  // namespace

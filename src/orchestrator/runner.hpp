@@ -48,6 +48,7 @@ struct RunRecord {
   nftape::Medium medium = nftape::Medium::kMyrinet;
   std::uint32_t round = 0;  ///< adaptive round (meaningful when strategy set)
   std::string strategy;     ///< adaptive strategy tag; empty for static sweeps
+  std::string scenario;     ///< misbehavior-scenario name; empty when none
   RunOutcome outcome = RunOutcome::kError;
   int attempts = 0;  ///< executor invocations (1 normally, 2 after a retry)
   int timeouts = 0;  ///< attempts the watchdog cancelled

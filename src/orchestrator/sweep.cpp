@@ -16,8 +16,9 @@ std::string_view to_string(FaultDirection d) noexcept {
 std::vector<RunSpec> expand(const SweepSpec& sweep) {
   // Empty axes collapse to one neutral point so the nest below is uniform.
   const std::vector<FaultPoint> faults =
-      sweep.faults.empty() ? std::vector<FaultPoint>{{"baseline", std::nullopt}}
-                           : sweep.faults;
+      sweep.faults.empty()
+          ? std::vector<FaultPoint>{{"baseline", std::nullopt, ""}}
+          : sweep.faults;
   const std::vector<FaultDirection> directions =
       sweep.directions.empty()
           ? std::vector<FaultDirection>{FaultDirection::kBoth}

@@ -28,6 +28,9 @@ struct FaultPoint {
   std::string name;
   /// nullopt = fault-free baseline run.
   std::optional<core::InjectorConfig> config;
+  /// One-line human description (shown by `run_sweep --list-faults`);
+  /// optional — expansion and run naming never read it.
+  std::string description;
 };
 
 /// Which link direction(s) the fault is programmed into (the device sits

@@ -1,0 +1,107 @@
+#include "scenario/minimizer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace hsfi::scenario {
+
+namespace {
+
+/// Candidate spec holding the steps of `full` selected by `keep`, in order.
+ScenarioSpec subset(const ScenarioSpec& full, const std::vector<std::size_t>& keep) {
+  ScenarioSpec out;
+  out.name = full.name;
+  out.steps.reserve(keep.size());
+  for (const auto i : keep) out.steps.push_back(full.steps[i]);
+  return out;
+}
+
+}  // namespace
+
+Minimizer::Result Minimizer::minimize(const ScenarioSpec& full,
+                                      std::string_view target,
+                                      const Execute& execute) const {
+  Result result;
+  result.minimal = full;
+
+  // Reproduction check: the whole point of a minimizer is to preserve an
+  // observed manifestation, so a full sequence that does not reproduce it
+  // (flaky environment, wrong target class) is reported whole, not shrunk.
+  result.runs = 1;
+  if (execute(full) != target) {
+    result.irreducible = true;
+    return result;
+  }
+  result.reproduced = true;
+
+  const auto probe = [&](const std::vector<std::size_t>& keep) {
+    ++result.runs;
+    return execute(subset(full, keep)) == target;
+  };
+
+  // ddmin over step indices: split the surviving set into n chunks, try
+  // each chunk alone (reduce to subset), then each complement (reduce to
+  // complement), else double the granularity. Terminates 1-minimal: no
+  // single remaining step can be removed.
+  std::vector<std::size_t> keep(full.steps.size());
+  for (std::size_t i = 0; i < keep.size(); ++i) keep[i] = i;
+  std::size_t n = 2;
+  while (keep.size() >= 2) {
+    const std::size_t chunk = (keep.size() + n - 1) / n;
+    bool reduced = false;
+    for (std::size_t start = 0; start < keep.size() && !reduced;
+         start += chunk) {
+      const std::size_t end = std::min(start + chunk, keep.size());
+      const std::vector<std::size_t> piece(
+          keep.begin() + static_cast<std::ptrdiff_t>(start),
+          keep.begin() + static_cast<std::ptrdiff_t>(end));
+      if (probe(piece)) {
+        keep = piece;
+        n = 2;
+        reduced = true;
+      }
+    }
+    if (!reduced && n > 2) {
+      for (std::size_t start = 0; start < keep.size() && !reduced;
+           start += chunk) {
+        const std::size_t end = std::min(start + chunk, keep.size());
+        std::vector<std::size_t> complement;
+        complement.reserve(keep.size() - (end - start));
+        complement.insert(complement.end(), keep.begin(),
+                          keep.begin() + static_cast<std::ptrdiff_t>(start));
+        complement.insert(complement.end(),
+                          keep.begin() + static_cast<std::ptrdiff_t>(end),
+                          keep.end());
+        if (probe(complement)) {
+          keep = complement;
+          n = std::max<std::size_t>(n - 1, 2);
+          reduced = true;
+        }
+      }
+    }
+    if (!reduced) {
+      if (n >= keep.size()) break;  // 1-minimal: singles were the chunks
+      n = std::min(n * 2, keep.size());
+    }
+  }
+  result.minimal = subset(full, keep);
+  result.irreducible = true;
+
+  // Parameter shrinking: halve each surviving step's count toward 1 while
+  // the signature survives. Monotone halving (not full binary search)
+  // keeps the probe count at most log2(count) per step.
+  if (config_.shrink_params) {
+    for (std::size_t i = 0; i < result.minimal.steps.size(); ++i) {
+      while (result.minimal.steps[i].count > 1) {
+        ScenarioSpec candidate = result.minimal;
+        candidate.steps[i].count /= 2;
+        ++result.runs;
+        if (execute(candidate) != target) break;
+        result.minimal = candidate;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hsfi::scenario

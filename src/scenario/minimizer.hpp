@@ -1,0 +1,67 @@
+// Automatic reproducer minimization: ddmin over a scenario's step sequence.
+//
+// When a scenario manifests, the interesting artifact is the *smallest*
+// intervention sequence that still produces the same manifestation class —
+// a minimal, replayable regression test. The Minimizer runs Zeller's
+// delta-debugging (ddmin) over the ordered step list, then shrinks each
+// surviving step's scalar parameter, re-executing every candidate through a
+// caller-supplied Execute callback (the campaign stack typically backs it
+// with snapshot-forked runs, so each probe costs one measurement window,
+// not a full boot + mapping settle).
+//
+// The algorithm is pure: given a deterministic Execute, the result and the
+// exact probe sequence are a function of the input spec alone — the
+// property the determinism tests pin.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "scenario/scenario.hpp"
+
+namespace hsfi::scenario {
+
+class Minimizer {
+ public:
+  /// Executes a candidate scenario and returns its manifestation signature
+  /// (e.g. the dominant non-masked manifestation class; "" = nothing
+  /// manifested). Must be deterministic for minimization to converge.
+  using Execute = std::function<std::string(const ScenarioSpec&)>;
+
+  struct Config {
+    /// After ddmin, try halving each surviving step's `count` toward 1.
+    bool shrink_params = true;
+  };
+
+  struct Result {
+    /// 1-minimal subsequence (params shrunk) reproducing `target`; the
+    /// unmodified input when it never reproduced.
+    ScenarioSpec minimal;
+    /// Execute() invocations spent, including the initial reproduction
+    /// check — the cost the ddmin-vs-naive bound is asserted against.
+    std::size_t runs = 0;
+    /// False when the full sequence itself failed to reproduce `target`.
+    bool reproduced = false;
+    /// True when no single step can be removed (1-minimal), or when the
+    /// sequence never reproduced and is reported whole.
+    bool irreducible = false;
+  };
+
+  Minimizer() = default;
+  explicit Minimizer(Config config) : config_(config) {}
+
+  /// Shrinks `full` to a locally minimal subsequence whose signature still
+  /// equals `target`. Always executes the full sequence first; a mismatch
+  /// there returns {full, 1, false, true} — the caller learns the scenario
+  /// is not reproducing without any shrink probes wasted.
+  [[nodiscard]] Result minimize(const ScenarioSpec& full,
+                                std::string_view target,
+                                const Execute& execute) const;
+
+ private:
+  Config config_{};
+};
+
+}  // namespace hsfi::scenario

@@ -1,0 +1,149 @@
+#include "scenario/scenario.hpp"
+
+namespace hsfi::scenario {
+
+std::string_view to_string(Medium m) noexcept {
+  switch (m) {
+    case Medium::kMyrinet: return "myrinet";
+    case Medium::kFc: return "fc";
+  }
+  return "?";
+}
+
+std::string_view to_string(StepKind kind) noexcept {
+  switch (kind) {
+    case StepKind::kForgedAnnounce: return "forged-announce";
+    case StepKind::kStaleAnnounce: return "stale-announce";
+    case StepKind::kLyingGo: return "lying-go";
+    case StepKind::kLyingStop: return "lying-stop";
+    case StepKind::kTruncateFrames: return "truncate-frames";
+    case StepKind::kRrdyFlood: return "rrdy-flood";
+    case StepKind::kDupSequence: return "dup-sequence";
+    case StepKind::kReorderSequence: return "reorder-sequence";
+  }
+  return "?";
+}
+
+std::optional<StepKind> parse_step_kind(std::string_view name) {
+  if (name == "forged-announce") return StepKind::kForgedAnnounce;
+  if (name == "stale-announce") return StepKind::kStaleAnnounce;
+  if (name == "lying-go") return StepKind::kLyingGo;
+  if (name == "lying-stop") return StepKind::kLyingStop;
+  if (name == "truncate-frames") return StepKind::kTruncateFrames;
+  if (name == "rrdy-flood") return StepKind::kRrdyFlood;
+  if (name == "dup-sequence") return StepKind::kDupSequence;
+  if (name == "reorder-sequence") return StepKind::kReorderSequence;
+  return std::nullopt;
+}
+
+Medium medium_of(StepKind kind) noexcept {
+  switch (kind) {
+    case StepKind::kForgedAnnounce:
+    case StepKind::kStaleAnnounce:
+    case StepKind::kLyingGo:
+    case StepKind::kLyingStop:
+    case StepKind::kTruncateFrames:
+      return Medium::kMyrinet;
+    case StepKind::kRrdyFlood:
+    case StepKind::kDupSequence:
+    case StepKind::kReorderSequence:
+      return Medium::kFc;
+  }
+  return Medium::kMyrinet;
+}
+
+std::string_view describe(StepKind kind) noexcept {
+  switch (kind) {
+    case StepKind::kForgedAnnounce:
+      return "announce a damaged network map from a phantom high-address MCP";
+    case StepKind::kStaleAnnounce:
+      return "announce a map with `count` nodes missing (silent removal)";
+    case StepKind::kLyingGo:
+      return "send GO on switch port `node` regardless of slack space";
+    case StepKind::kLyingStop:
+      return "send STOP on switch port `node` with slack available";
+    case StepKind::kTruncateFrames:
+      return "shorten next `count` tx payloads on `node`, CRC-8 repatched";
+    case StepKind::kRrdyFlood:
+      return "transmit `count` R_RDYs beyond BB-credit from N_Port `node`";
+    case StepKind::kDupSequence:
+      return "send one complete FC-2 sequence twice (same SEQ_ID/OX_ID)";
+    case StepKind::kReorderSequence:
+      return "send a multi-frame FC-2 sequence with two frames swapped";
+  }
+  return "?";
+}
+
+bool compatible(const ScenarioSpec& spec, Medium medium) noexcept {
+  for (const auto& step : spec.steps) {
+    if (medium_of(step.kind) != medium) return false;
+  }
+  return true;
+}
+
+const std::vector<ScenarioInfo>& list_scenarios() {
+  static const std::vector<ScenarioInfo> kRegistry = {
+      {"flow-liar", Medium::kMyrinet,
+       "repeated lying GO on the injected port: slack overruns under load"},
+      {"mapping-liar", Medium::kMyrinet,
+       "forged and stale announcements poison every node's network map"},
+      {"truncator", Medium::kMyrinet,
+       "truncated-but-CRC-valid frames: payload shortened, CRC-8 repatched"},
+      {"rrdy-storm", Medium::kFc,
+       "R_RDY floods beyond BB-credit overrun the peer's receive buffers"},
+      {"seq-shuffler", Medium::kFc,
+       "duplicated and reordered FC-2 sequences through valid frames"},
+  };
+  return kRegistry;
+}
+
+std::optional<ScenarioSpec> find_scenario(std::string_view name) {
+  ScenarioSpec spec;
+  spec.name = std::string(name);
+  if (name == "flow-liar") {
+    // Eight lies spread over [1 ms, 4.5 ms): enough pressure that at least
+    // one GO lands while the switch holds the sender stopped.
+    for (std::int64_t i = 0; i < 8; ++i) {
+      spec.steps.push_back({StepKind::kLyingGo,
+                            sim::microseconds(1000 + 500 * i), 0, 1});
+    }
+    return spec;
+  }
+  if (name == "mapping-liar") {
+    spec.steps.push_back(
+        {StepKind::kForgedAnnounce, sim::microseconds(1000), 0, 1});
+    spec.steps.push_back(
+        {StepKind::kForgedAnnounce, sim::microseconds(2200), 1, 1});
+    spec.steps.push_back(
+        {StepKind::kStaleAnnounce, sim::microseconds(3400), 0, 1});
+    return spec;
+  }
+  if (name == "truncator") {
+    for (std::int64_t i = 0; i < 3; ++i) {
+      spec.steps.push_back({StepKind::kTruncateFrames,
+                            sim::microseconds(1000 * (i + 1)), 0, 4});
+    }
+    return spec;
+  }
+  if (name == "rrdy-storm") {
+    for (std::int64_t i = 0; i < 4; ++i) {
+      spec.steps.push_back({StepKind::kRrdyFlood,
+                            sim::microseconds(1000 * (i + 1)), 0, 16});
+    }
+    return spec;
+  }
+  if (name == "seq-shuffler") {
+    spec.steps.push_back(
+        {StepKind::kDupSequence, sim::microseconds(1000), 0, 1});
+    spec.steps.push_back(
+        {StepKind::kReorderSequence, sim::microseconds(2000), 1, 1});
+    spec.steps.push_back(
+        {StepKind::kDupSequence, sim::microseconds(3000), 1, 1});
+    spec.steps.push_back(
+        {StepKind::kReorderSequence, sim::microseconds(4000), 0, 1});
+    return spec;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hsfi::scenario

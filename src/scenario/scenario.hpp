@@ -1,0 +1,113 @@
+// Protocol-aware misbehavior scenarios.
+//
+// The injector mutates symbols on the wire; a Scenario misbehaves at the
+// protocol layer while keeping every frame well-formed (the OpenSSL QUIC
+// fault-injector model: construct fully valid protocol elements, then
+// deviate in one controlled way). A scenario is an ordered program of
+// interventions — forged mapping announcements into the MCP, lying STOP/GO
+// flow control, truncated-but-CRC-valid frames, R_RDY floods beyond
+// BB-credit, duplicated/reordered FC-2 sequences — installed via hooks at
+// the Myrinet/FC protocol objects, never by corrupting the symbol stream.
+//
+// The data model here is deliberately plain: a Step is (kind, offset from
+// the measurement-window start, target node, scalar parameter), and a
+// ScenarioSpec is a named ordered list of steps. Campaign specs carry an
+// optional ScenarioSpec; the per-medium drivers (driver_myrinet.hpp,
+// driver_fc.hpp) schedule and execute the steps; the Minimizer
+// (minimizer.hpp) delta-debugs a manifesting spec down to a minimal
+// reproducer. Each step firing is recorded as an injection so the 8-class
+// manifestation breakdown still reconciles exactly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hsfi::scenario {
+
+/// Which protocol stack a step (or a whole scenario) drives. Kept separate
+/// from nftape::Medium so the scenario layer stays below the fabric layer;
+/// nftape maps between the two at arm time.
+enum class Medium : std::uint8_t {
+  kMyrinet = 0,
+  kFc,
+};
+
+[[nodiscard]] std::string_view to_string(Medium m) noexcept;
+
+/// One protocol-level intervention. Every kind produces only well-formed
+/// wire traffic; the lie is in the protocol state it claims.
+enum class StepKind : std::uint8_t {
+  // Myrinet
+  kForgedAnnounce = 0,  ///< announce a damaged map from a phantom high-address
+                        ///< MCP; victims install it and route wrong (§4.3.3)
+  kStaleAnnounce,       ///< announce a map with a node missing — the paper's
+                        ///< "removed from the network" without any corruption
+  kLyingGo,             ///< switch sends GO on a port regardless of slack space
+  kLyingStop,           ///< switch sends STOP on a port with slack available
+  kTruncateFrames,      ///< shorten the next `count` tx payloads, CRC-8
+                        ///< repatched so the frame stays valid on the wire
+  // Fibre Channel
+  kRrdyFlood,           ///< transmit `count` R_RDYs beyond BB-credit, inflating
+                        ///< the peer's credit belief past real buffer space
+  kDupSequence,         ///< send one complete FC-2 sequence twice (same
+                        ///< SEQ_ID/OX_ID), frames individually valid
+  kReorderSequence,     ///< send a multi-frame sequence with two frames swapped
+};
+
+inline constexpr std::size_t kStepKindCount = 8;
+
+[[nodiscard]] std::string_view to_string(StepKind kind) noexcept;
+[[nodiscard]] std::optional<StepKind> parse_step_kind(std::string_view name);
+/// Which medium's protocol objects a step kind drives.
+[[nodiscard]] Medium medium_of(StepKind kind) noexcept;
+/// One-line description (the --list-scenarios / docs text).
+[[nodiscard]] std::string_view describe(StepKind kind) noexcept;
+
+struct Step {
+  StepKind kind = StepKind::kLyingGo;
+  /// Offset from the measurement-window start. Must be > 0 (the analyzer
+  /// classifies injections with window_begin < t <= window_end) and should
+  /// fall inside the campaign duration so the firing lands in the window.
+  sim::Duration at = 0;
+  /// Target node index (Myrinet: host/switch-port index; FC: N_Port index).
+  std::uint32_t node = 0;
+  /// Scalar intensity: frames to truncate, R_RDYs to flood, entries to
+  /// damage. The minimizer's parameter-shrinking pass lowers this.
+  std::uint64_t count = 1;
+
+  friend bool operator==(const Step&, const Step&) = default;
+};
+
+/// An ordered program of interventions. Deterministic: the steps fire at
+/// fixed offsets in simulated time, so a (spec, seed) pair replays
+/// byte-identically through the campaign stack.
+struct ScenarioSpec {
+  std::string name;
+  std::vector<Step> steps;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// True when every step drives `medium`'s protocol objects.
+[[nodiscard]] bool compatible(const ScenarioSpec& spec, Medium medium) noexcept;
+
+/// A registered scenario: a named, described, buildable default program.
+struct ScenarioInfo {
+  std::string_view name;
+  Medium medium;
+  std::string_view description;
+};
+
+/// The registry, in listing order (--list-scenarios prints this).
+[[nodiscard]] const std::vector<ScenarioInfo>& list_scenarios();
+
+/// Builds the registered scenario's default step program; nullopt when the
+/// name is unknown. Default offsets fit a >= 5 ms measurement window.
+[[nodiscard]] std::optional<ScenarioSpec> find_scenario(std::string_view name);
+
+}  // namespace hsfi::scenario

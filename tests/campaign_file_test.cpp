@@ -14,6 +14,7 @@
 #include "orchestrator/campaign_file.hpp"
 #include "orchestrator/json_value.hpp"
 #include "orchestrator/sweep.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
@@ -170,6 +171,108 @@ TEST(CampaignFileTest, UnknownKeysAreNamedErrors) {
       EXPECT_NE(std::string(e.what()).find(c.key), std::string::npos)
           << e.what();
     }
+  }
+}
+
+TEST(CampaignFileTest, UnknownKeysReportTheirFullJsonPath) {
+  // Not just the leaf key: the whole path, so a typo deep in an overlay or
+  // a second target is findable without diffing the file.
+  const struct {
+    const char* text;
+    const char* path;
+  } cases[] = {
+      {R"({"name": "x", "targets": [{}, {"durration_ms": 5}]})",
+       "targets[1].durration_ms"},
+      {R"({"name": "x",
+           "targets": [{"grid": [{"name": "g"},
+                                 {"name": "h", "bursts": 2}]}]})",
+       "targets[0].grid[1].bursts"},
+      {R"({"name": "x", "strategy": {"name": "bisect", "knb": 1},
+           "targets": [{}]})",
+       "strategy.knb"},
+      {R"({"name": "x", "defaults": {"jitterr": 0.5}, "targets": [{}]})",
+       "defaults.jitterr"},
+      {R"({"name": "x",
+           "targets": [{"scenario": {"name": "s",
+                                     "steps": [{"kind": "lying-go",
+                                                "at_ms": 1, "nod": 2}]}}]})",
+       "targets[0].scenario.steps[0].nod"},
+  };
+  for (const auto& c : cases) {
+    try {
+      (void)parse_campaign_file(c.text);
+      FAIL() << "accepted unknown key at " << c.path;
+    } catch (const CampaignFileError& e) {
+      EXPECT_NE(std::string(e.what()).find(c.path), std::string::npos)
+          << "wanted path '" << c.path << "' in: " << e.what();
+    }
+  }
+}
+
+TEST(CampaignFileTest, ScenarioBlockResolvesRegistryName) {
+  const auto file = parse_campaign_file(R"({
+    "name": "s",
+    "targets": [{"medium": "myrinet", "faults": ["gap-go"],
+                 "scenario": {"name": "flow-liar"}}]})");
+  const auto& sweep = file.targets[0].sweep;
+  ASSERT_TRUE(sweep.base.scenario.has_value());
+  EXPECT_EQ(sweep.base.scenario->name, "flow-liar");
+  EXPECT_EQ(*sweep.base.scenario, *scenario::find_scenario("flow-liar"));
+}
+
+TEST(CampaignFileTest, ScenarioBlockParsesInlineSteps) {
+  const auto file = parse_campaign_file(R"({
+    "name": "s",
+    "targets": [{"medium": "fc",
+                 "scenario": {"name": "storm", "steps": [
+                   {"kind": "rrdy-flood", "at_ms": 1.5, "node": 2,
+                    "count": 24},
+                   {"kind": "dup-sequence", "at_ms": 3}]}}]})");
+  const auto& scen = file.targets[0].sweep.base.scenario;
+  ASSERT_TRUE(scen.has_value());
+  EXPECT_EQ(scen->name, "storm");
+  ASSERT_EQ(scen->steps.size(), 2u);
+  EXPECT_EQ(scen->steps[0].kind, scenario::StepKind::kRrdyFlood);
+  EXPECT_EQ(scen->steps[0].at, nanoseconds(1'500'000));
+  EXPECT_EQ(scen->steps[0].node, 2u);
+  EXPECT_EQ(scen->steps[0].count, 24u);
+  EXPECT_EQ(scen->steps[1].kind, scenario::StepKind::kDupSequence);
+  EXPECT_EQ(scen->steps[1].count, 1u);  // scalar default
+}
+
+TEST(CampaignFileTest, ScenarioBlockRejectsBadPrograms) {
+  const char* bad[] = {
+      // unknown registry name, no inline steps
+      R"({"name": "x", "targets": [{"scenario": {"name": "ghost"}}]})",
+      // FC step program armed on a Myrinet target
+      R"({"name": "x", "targets": [{"medium": "myrinet",
+          "scenario": {"name": "rrdy-storm"}}]})",
+      // at_ms 0 would fire outside the analyzer's (begin, end] window
+      R"({"name": "x", "targets": [{"medium": "myrinet",
+          "scenario": {"name": "s",
+                       "steps": [{"kind": "lying-go", "at_ms": 0}]}}]})",
+      // a step needs a kind
+      R"({"name": "x", "targets": [{"medium": "myrinet",
+          "scenario": {"name": "s", "steps": [{"at_ms": 1}]}}]})",
+      // inline steps must be non-empty
+      R"({"name": "x", "targets": [{"medium": "myrinet",
+          "scenario": {"name": "s", "steps": []}}]})",
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW((void)parse_campaign_file(text), CampaignFileError) << text;
+  }
+
+  // An unknown step kind names its full path too.
+  try {
+    (void)parse_campaign_file(
+        R"({"name": "x", "targets": [{"medium": "myrinet",
+            "scenario": {"name": "s",
+                         "steps": [{"kind": "gremlin", "at_ms": 1}]}}]})");
+    FAIL() << "accepted unknown step kind";
+  } catch (const CampaignFileError& e) {
+    EXPECT_NE(std::string(e.what()).find("targets[0].scenario.steps[0].kind"),
+              std::string::npos)
+        << e.what();
   }
 }
 

@@ -72,10 +72,10 @@ orchestrator::SweepSpec fc_mini_sweep() {
   sweep.startup_settle = sim::milliseconds(10);
   sweep.directions = {orchestrator::FaultDirection::kFromSwitch,
                       orchestrator::FaultDirection::kBoth};
-  sweep.faults.push_back({"seu-00FF", nftape::random_bit_flip_seu(0x00FF)});
+  sweep.faults.push_back({"seu-00FF", nftape::random_bit_flip_seu(0x00FF), ""});
   sweep.faults.push_back(
       {"sofi3-blank",
-       nftape::fc_ordered_set_corruption(fc::OrderedSet::kSofI3, 0x000F)});
+       nftape::fc_ordered_set_corruption(fc::OrderedSet::kSofI3, 0x000F), ""});
 
   sweep.base.medium = nftape::Medium::kFc;
   sweep.testbed.fc.rx_processing_time = sim::microseconds(1);

@@ -70,8 +70,8 @@ orchestrator::SweepSpec mini_sweep() {
                       orchestrator::FaultDirection::kBoth};
   sweep.faults.push_back(
       {"go-stop", nftape::control_symbol_corruption(ControlSymbol::kGo,
-                                                    ControlSymbol::kStop)});
-  sweep.faults.push_back({"seu-00FF", nftape::random_bit_flip_seu(0x00FF)});
+                                                    ControlSymbol::kStop), ""});
+  sweep.faults.push_back({"seu-00FF", nftape::random_bit_flip_seu(0x00FF), ""});
 
   sweep.testbed.map_period = sim::milliseconds(100);
   sweep.testbed.nic_config.rx_processing_time = sim::microseconds(1);

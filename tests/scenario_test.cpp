@@ -1,0 +1,233 @@
+// Scenario-layer unit tests: the registry, step-kind naming, medium
+// gating, and the ddmin Minimizer against synthetic executors. No
+// simulation runs here — the minimizer is pure given its Execute callback,
+// which is exactly the property these tests pin (exact planted-subset
+// recovery, deterministic probe sequences, the better-than-naive run
+// count, and the non-reproducing terminal case). The campaign-backed
+// executor is exercised in scenario_campaign_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/minimizer.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace hsfi;
+using scenario::Medium;
+using scenario::ScenarioSpec;
+using scenario::Step;
+using scenario::StepKind;
+
+Step make_step(StepKind kind, long at_ms, std::uint32_t node = 0,
+               std::uint64_t count = 1) {
+  Step s;
+  s.kind = kind;
+  s.at = sim::milliseconds(at_ms);
+  s.node = node;
+  s.count = count;
+  return s;
+}
+
+/// Eight steps tagged by node index so synthetic executors can recognize
+/// exactly which subset a ddmin probe selected.
+ScenarioSpec eight_steps() {
+  ScenarioSpec spec;
+  spec.name = "synthetic";
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    spec.steps.push_back(make_step(StepKind::kLyingGo, i + 1, i));
+  }
+  return spec;
+}
+
+bool has_node(const ScenarioSpec& spec, std::uint32_t node) {
+  for (const auto& s : spec.steps) {
+    if (s.node == node) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(ScenarioRegistry, ListsDescribedBuildableScenarios) {
+  const auto& all = scenario::list_scenarios();
+  ASSERT_EQ(all.size(), 5u);
+  for (const auto& info : all) {
+    EXPECT_FALSE(info.description.empty()) << info.name;
+    const auto spec = scenario::find_scenario(info.name);
+    ASSERT_TRUE(spec.has_value()) << info.name;
+    EXPECT_EQ(spec->name, info.name);
+    EXPECT_FALSE(spec->steps.empty()) << info.name;
+    EXPECT_TRUE(scenario::compatible(*spec, info.medium)) << info.name;
+    for (const auto& s : spec->steps) {
+      // The analyzer classifies injections with window_begin < t, so a
+      // step at offset 0 would fire outside the window.
+      EXPECT_GT(s.at, 0) << info.name;
+    }
+  }
+  EXPECT_FALSE(scenario::find_scenario("no-such-scenario").has_value());
+}
+
+TEST(ScenarioRegistry, FlowLiarCarriesAtLeastSixInterventions) {
+  // The end-to-end minimization acceptance rides on this program shape.
+  const auto spec = scenario::find_scenario("flow-liar");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_GE(spec->steps.size(), 6u);
+  for (const auto& s : spec->steps) {
+    EXPECT_EQ(scenario::medium_of(s.kind), Medium::kMyrinet);
+  }
+}
+
+TEST(ScenarioSteps, KindNamesRoundTrip) {
+  for (std::size_t i = 0; i < scenario::kStepKindCount; ++i) {
+    const auto kind = static_cast<StepKind>(i);
+    const auto name = scenario::to_string(kind);
+    EXPECT_FALSE(name.empty());
+    const auto parsed = scenario::parse_step_kind(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, kind);
+    EXPECT_FALSE(scenario::describe(kind).empty()) << name;
+  }
+  EXPECT_FALSE(scenario::parse_step_kind("lying-promise").has_value());
+}
+
+TEST(ScenarioSteps, MediumGating) {
+  EXPECT_EQ(scenario::medium_of(StepKind::kForgedAnnounce), Medium::kMyrinet);
+  EXPECT_EQ(scenario::medium_of(StepKind::kLyingGo), Medium::kMyrinet);
+  EXPECT_EQ(scenario::medium_of(StepKind::kTruncateFrames), Medium::kMyrinet);
+  EXPECT_EQ(scenario::medium_of(StepKind::kRrdyFlood), Medium::kFc);
+  EXPECT_EQ(scenario::medium_of(StepKind::kDupSequence), Medium::kFc);
+
+  ScenarioSpec mixed;
+  mixed.name = "mixed";
+  mixed.steps = {make_step(StepKind::kLyingGo, 1),
+                 make_step(StepKind::kRrdyFlood, 2)};
+  EXPECT_FALSE(scenario::compatible(mixed, Medium::kMyrinet));
+  EXPECT_FALSE(scenario::compatible(mixed, Medium::kFc));
+}
+
+// ---------------------------------------------------------------------------
+// Minimizer
+
+TEST(Minimizer, RecoversExactPlantedPair) {
+  const auto full = eight_steps();
+  std::size_t calls = 0;
+  const scenario::Minimizer::Execute execute =
+      [&](const ScenarioSpec& candidate) {
+        ++calls;
+        return has_node(candidate, 2) && has_node(candidate, 5)
+                   ? std::string("wedged")
+                   : std::string();
+      };
+  const auto result = scenario::Minimizer().minimize(full, "wedged", execute);
+  EXPECT_TRUE(result.reproduced);
+  EXPECT_TRUE(result.irreducible);
+  ASSERT_EQ(result.minimal.steps.size(), 2u);
+  EXPECT_EQ(result.minimal.steps[0].node, 2u);  // original order preserved
+  EXPECT_EQ(result.minimal.steps[1].node, 5u);
+  EXPECT_EQ(result.runs, calls);
+}
+
+TEST(Minimizer, SingleCulpritBeatsNaiveRemoval) {
+  const auto full = eight_steps();
+  const scenario::Minimizer::Execute execute =
+      [&](const ScenarioSpec& candidate) {
+        return has_node(candidate, 3) ? std::string("x") : std::string();
+      };
+  const auto result = scenario::Minimizer().minimize(full, "x", execute);
+  ASSERT_EQ(result.minimal.steps.size(), 1u);
+  EXPECT_EQ(result.minimal.steps[0].node, 3u);
+  // Naive one-at-a-time removal spends the initial reproduction check plus
+  // one probe per step; ddmin's binary chunking must beat it.
+  EXPECT_LT(result.runs, full.steps.size() + 1);
+}
+
+TEST(Minimizer, ProbeSequenceIsDeterministic) {
+  const auto full = eight_steps();
+  const auto run_once = [&](std::vector<std::size_t>& sizes) {
+    const scenario::Minimizer::Execute execute =
+        [&](const ScenarioSpec& candidate) {
+          sizes.push_back(candidate.steps.size());
+          return has_node(candidate, 3) && has_node(candidate, 6)
+                     ? std::string("x")
+                     : std::string();
+        };
+    return scenario::Minimizer().minimize(full, "x", execute);
+  };
+  std::vector<std::size_t> first, second;
+  const auto a = run_once(first);
+  const auto b = run_once(second);
+  EXPECT_EQ(first, second) << "the exact probe sequence must be a pure "
+                              "function of the input spec";
+  EXPECT_EQ(a.minimal, b.minimal);
+  EXPECT_EQ(a.runs, b.runs);
+}
+
+TEST(Minimizer, NonReproducingSequenceIsReportedWhole) {
+  const auto full = eight_steps();
+  std::size_t calls = 0;
+  const scenario::Minimizer::Execute execute = [&](const ScenarioSpec&) {
+    ++calls;
+    return std::string();  // never manifests
+  };
+  const auto result = scenario::Minimizer().minimize(full, "ghost", execute);
+  EXPECT_FALSE(result.reproduced);
+  EXPECT_TRUE(result.irreducible);
+  EXPECT_EQ(result.minimal, full) << "reported whole, not shrunk";
+  EXPECT_EQ(result.runs, 1u) << "no shrink probes after the failed check";
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(Minimizer, ShrinksStepParameters) {
+  ScenarioSpec full;
+  full.name = "storm";
+  full.steps = {make_step(StepKind::kRrdyFlood, 1, 0, 16)};
+  const scenario::Minimizer::Execute execute =
+      [](const ScenarioSpec& candidate) {
+        // Manifests only while the flood is at least 4 R_RDYs deep.
+        return !candidate.steps.empty() && candidate.steps[0].count >= 4
+                   ? std::string("overrun")
+                   : std::string();
+      };
+  const auto shrunk =
+      scenario::Minimizer().minimize(full, "overrun", execute);
+  ASSERT_EQ(shrunk.minimal.steps.size(), 1u);
+  EXPECT_EQ(shrunk.minimal.steps[0].count, 4u)
+      << "halving stops at the smallest still-manifesting power-of-two cut";
+
+  scenario::Minimizer::Config config;
+  config.shrink_params = false;
+  const auto kept =
+      scenario::Minimizer(config).minimize(full, "overrun", execute);
+  ASSERT_EQ(kept.minimal.steps.size(), 1u);
+  EXPECT_EQ(kept.minimal.steps[0].count, 16u);
+}
+
+TEST(Minimizer, ShrinksParametersOfEverySurvivingStep) {
+  ScenarioSpec full = eight_steps();
+  full.steps[2].count = 8;
+  full.steps[5].count = 6;
+  const scenario::Minimizer::Execute execute =
+      [&](const ScenarioSpec& candidate) {
+        // Both planted steps needed, each with count >= 2.
+        for (const std::uint32_t node : {2u, 5u}) {
+          bool ok = false;
+          for (const auto& s : candidate.steps) {
+            if (s.node == node && s.count >= 2) ok = true;
+          }
+          if (!ok) return std::string();
+        }
+        return std::string("both");
+      };
+  const auto result = scenario::Minimizer().minimize(full, "both", execute);
+  ASSERT_EQ(result.minimal.steps.size(), 2u);
+  EXPECT_EQ(result.minimal.steps[0].count, 2u);
+  EXPECT_EQ(result.minimal.steps[1].count, 3u)  // 6 -> 3; 3/2 = 1 fails
+      << "per-step halving is independent";
+}
+
+}  // namespace

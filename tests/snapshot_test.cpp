@@ -72,8 +72,8 @@ orchestrator::SweepSpec mini_sweep() {
                       orchestrator::FaultDirection::kBoth};
   sweep.faults.push_back(
       {"go-stop", nftape::control_symbol_corruption(ControlSymbol::kGo,
-                                                    ControlSymbol::kStop)});
-  sweep.faults.push_back({"seu-00FF", nftape::random_bit_flip_seu(0x00FF)});
+                                                    ControlSymbol::kStop), ""});
+  sweep.faults.push_back({"seu-00FF", nftape::random_bit_flip_seu(0x00FF), ""});
 
   sweep.testbed.map_period = sim::milliseconds(100);
   sweep.testbed.nic_config.rx_processing_time = sim::microseconds(1);
@@ -99,10 +99,10 @@ orchestrator::SweepSpec fc_mini_sweep() {
   sweep.startup_settle = sim::milliseconds(10);
   sweep.directions = {orchestrator::FaultDirection::kFromSwitch,
                       orchestrator::FaultDirection::kBoth};
-  sweep.faults.push_back({"seu-00FF", nftape::random_bit_flip_seu(0x00FF)});
+  sweep.faults.push_back({"seu-00FF", nftape::random_bit_flip_seu(0x00FF), ""});
   sweep.faults.push_back(
       {"sofi3-blank",
-       nftape::fc_ordered_set_corruption(fc::OrderedSet::kSofI3, 0x000F)});
+       nftape::fc_ordered_set_corruption(fc::OrderedSet::kSofI3, 0x000F), ""});
 
   sweep.base.medium = nftape::Medium::kFc;
   sweep.testbed.fc.rx_processing_time = sim::microseconds(1);
@@ -164,7 +164,7 @@ adaptive::AdaptiveSpec adaptive_spec() {
   spec.name = "snap-adaptive";
   spec.faults = {
       {"go-stop", nftape::control_symbol_corruption(ControlSymbol::kGo,
-                                                    ControlSymbol::kStop)},
+                                                    ControlSymbol::kStop), ""},
   };
   spec.directions = {orchestrator::FaultDirection::kFromSwitch};
   spec.knob = nftape::Knob::kUdpIntervalUs;
