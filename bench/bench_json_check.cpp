@@ -5,11 +5,23 @@
 // (bench, metric) pair unique. Exit 0 on pass; nonzero with a message
 // naming the byte offset on any violation.
 //
+// Gate mode:  bench_json_check --gate BASELINE FRESH [--max-regress PCT]
+// schema-checks both files, then compares every events_per_sec_median the
+// files share: a fresh value more than PCT percent (default 20) below the
+// committed baseline fails. Benches present in only one file are skipped
+// (the smoke lane and the full-scale baseline need not run identical
+// scenario sets), as are zero medians (a smoke configuration that executed
+// no kernel events has nothing to compare). This is the CI tripwire that
+// keeps the batched symbol path from silently regressing.
+//
 // A hand-rolled validator because the container has no JSON library — and
 // the point is to fail when the writer drifts, not to accept all of JSON.
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -38,6 +50,12 @@ class Checker {
     if (pos_ != text_.size()) return fail("trailing data after array");
     if (records == 0) return fail("no records");
     return true;
+  }
+
+  /// (bench, metric) -> value for every record seen by run().
+  [[nodiscard]] const std::map<std::pair<std::string, std::string>, double>&
+  values() const noexcept {
+    return values_;
   }
 
  private:
@@ -82,7 +100,7 @@ class Checker {
     return expect('"');
   }
 
-  bool number_value() {
+  bool number_value(double* out) {
     skip_ws();
     const std::size_t start = pos_;
     if (peek() == '-') ++pos_;
@@ -97,10 +115,11 @@ class Checker {
       while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
     }
     if (pos_ == start || text_[start] == '.') return fail("expected a number");
+    *out = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
     return true;
   }
 
-  bool field(const char* name, std::string* out) {
+  bool field(const char* name, std::string* out, double* num = nullptr) {
     std::string key;
     if (!string_value(&key)) return false;
     if (key != name) {
@@ -108,19 +127,20 @@ class Checker {
                   "\"");
     }
     if (!expect(':')) return false;
-    return out != nullptr ? string_value(out) : number_value();
+    return out != nullptr ? string_value(out) : number_value(num);
   }
 
   bool record() {
     if (!expect('{')) return false;
     std::string bench, metric, unit, commit;
+    double value = 0;
     if (!field("bench", &bench) || !consume(',')) {
       return fail("record must be {bench, metric, value, unit, commit}");
     }
     if (!field("metric", &metric) || !consume(',')) {
       return fail("record must be {bench, metric, value, unit, commit}");
     }
-    if (!field("value", nullptr) || !consume(',')) {
+    if (!field("value", nullptr, &value) || !consume(',')) {
       return fail("record must be {bench, metric, value, unit, commit}");
     }
     if (!field("unit", &unit) || !consume(',')) {
@@ -134,33 +154,113 @@ class Checker {
     if (!seen_.insert(bench + "\x1f" + metric).second) {
       return fail("duplicate (bench, metric) pair: " + bench + "/" + metric);
     }
+    values_[{bench, metric}] = value;
     return true;
   }
 
   std::string text_;
   std::size_t pos_ = 0;
   std::set<std::string> seen_;
+  std::map<std::pair<std::string, std::string>, double> values_;
 };
+
+bool load_and_check(const char* path, Checker** out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto* checker = new Checker(buffer.str());
+  if (!checker->run()) {
+    std::fprintf(stderr, "%s: FAILED schema check\n", path);
+    delete checker;
+    return false;
+  }
+  *out = checker;
+  return true;
+}
+
+int gate(const char* baseline_path, const char* fresh_path,
+         double max_regress_pct) {
+  Checker* baseline = nullptr;
+  Checker* fresh = nullptr;
+  if (!load_and_check(baseline_path, &baseline)) return 1;
+  if (!load_and_check(fresh_path, &fresh)) {
+    delete baseline;
+    return 1;
+  }
+  const std::string metric = "events_per_sec_median";
+  const double floor_factor = 1.0 - max_regress_pct / 100.0;
+  std::size_t compared = 0;
+  std::size_t regressed = 0;
+  for (const auto& [key, base_value] : baseline->values()) {
+    if (key.second != metric) continue;
+    const auto it = fresh->values().find(key);
+    if (it == fresh->values().end()) continue;  // bench not in this lane
+    const double fresh_value = it->second;
+    if (base_value <= 0 || fresh_value <= 0) continue;  // nothing measured
+    ++compared;
+    const double ratio = fresh_value / base_value;
+    const bool bad = fresh_value < base_value * floor_factor;
+    std::printf("%-20s %12.1f -> %12.1f events/s (%.0f%% of baseline)%s\n",
+                key.first.c_str(), base_value, fresh_value, ratio * 100.0,
+                bad ? "  REGRESSION" : "");
+    if (bad) ++regressed;
+  }
+  delete baseline;
+  delete fresh;
+  if (compared == 0) {
+    std::fprintf(stderr, "gate: no comparable %s entries\n", metric.c_str());
+    return 1;
+  }
+  if (regressed != 0) {
+    std::fprintf(stderr,
+                 "gate: %zu/%zu benches regressed more than %.0f%% below "
+                 "the committed baseline\n",
+                 regressed, compared, max_regress_pct);
+    return 1;
+  }
+  std::printf("gate: %zu benches within %.0f%% of baseline\n", compared,
+              max_regress_pct);
+  return 0;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--gate") == 0) {
+    if (argc != 4 && argc != 6) {
+      std::fprintf(stderr,
+                   "usage: bench_json_check --gate BASELINE FRESH "
+                   "[--max-regress PCT]\n");
+      return 2;
+    }
+    double pct = 20.0;
+    if (argc == 6) {
+      if (std::strcmp(argv[4], "--max-regress") != 0) {
+        std::fprintf(stderr, "unknown option %s\n", argv[4]);
+        return 2;
+      }
+      pct = std::strtod(argv[5], nullptr);
+      if (pct <= 0 || pct >= 100) {
+        std::fprintf(stderr, "--max-regress must be in (0, 100)\n");
+        return 2;
+      }
+    }
+    return gate(argv[2], argv[3], pct);
+  }
   if (argc != 2) {
-    std::fprintf(stderr, "usage: bench_json_check FILE\n");
+    std::fprintf(stderr,
+                 "usage: bench_json_check FILE\n"
+                 "       bench_json_check --gate BASELINE FRESH "
+                 "[--max-regress PCT]\n");
     return 2;
   }
-  std::ifstream in(argv[1], std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", argv[1]);
-    return 2;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  Checker checker(buffer.str());
-  if (!checker.run()) {
-    std::fprintf(stderr, "%s: FAILED schema check\n", argv[1]);
-    return 1;
-  }
+  Checker* checker = nullptr;
+  if (!load_and_check(argv[1], &checker)) return 1;
+  delete checker;
   std::printf("%s: ok\n", argv[1]);
   return 0;
 }

@@ -87,10 +87,13 @@ int main() {
   // ---- And the FC wire itself: 8b/10b error surface --------------------
   fc::FcFrame probe;
   probe.payload.assign(16, 0x42);
-  const auto symbols = fc::frame_to_symbols(probe);
-  auto wire = phy::FcSerdes::encode(symbols);
+  std::vector<hsfi::link::Symbol> symbols;
+  fc::frame_to_symbols_into(probe, symbols);
+  phy::FcWireStream wire;
+  phy::FcSerdes::encode_into(symbols, wire);
   phy::flip_wire_bit(wire, 10, 3);
-  const auto decoded = phy::FcSerdes::decode(wire);
+  phy::FcDecodedStream decoded;
+  phy::FcSerdes::decode_into(wire, decoded);
   std::printf("wire-level single-bit fault: %llu code violations, "
               "%llu disparity errors on decode\n",
               (unsigned long long)decoded.code_violations,

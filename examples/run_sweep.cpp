@@ -210,7 +210,11 @@ bool write_bench_out(const std::string& path,
                      const std::vector<orchestrator::RunRecord>& records,
                      double total_s) {
   std::uint64_t events = 0;
-  for (const auto& r : records) events += r.result.events_executed;
+  std::uint64_t symbols = 0;
+  for (const auto& r : records) {
+    events += r.result.events_executed;
+    symbols += r.result.symbols_sent;
+  }
   const std::string commit = commit_id();
   std::ofstream out(path);
   if (!out) {
@@ -236,6 +240,10 @@ bool write_bench_out(const std::string& path,
          "events/s");
   record("wall_s_median", total_s, 6, "s");
   record("events", static_cast<double>(events), 0, "count");
+  // Link symbols carried over the same runs: invariant under kernel-level
+  // batching, so events-per-symbol trending down means the refactor is
+  // removing scheduling overhead rather than simulating less traffic.
+  record("symbols", static_cast<double>(symbols), 0, "count");
   record("runs", static_cast<double>(records.size()), 0, "count");
   out << "\n]\n";
   return static_cast<bool>(out);

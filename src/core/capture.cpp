@@ -4,8 +4,7 @@
 
 namespace hsfi::core {
 
-void CaptureBuffer::feed(link::Symbol s, sim::SimTime when) {
-  (void)when;
+void CaptureBuffer::feed_one(link::Symbol s) {
   if (open_) {
     pending_.after.push_back(s);
     if (pending_.after.size() >= params_.post_context) {
@@ -20,6 +19,23 @@ void CaptureBuffer::feed(link::Symbol s, sim::SimTime when) {
   }
   ring_.push_back(s);
   while (ring_.size() > params_.pre_context) ring_.pop_front();
+}
+
+void CaptureBuffer::feed_run(std::span<const link::Symbol> symbols) {
+  std::size_t i = 0;
+  // An open event may close partway through the run; nothing re-opens it
+  // without a trigger, so the remainder only has to refresh the ring.
+  while (open_ && i < symbols.size()) feed_one(symbols[i++]);
+  const std::size_t rest = symbols.size() - i;
+  if (rest == 0) return;
+  if (rest >= params_.pre_context) {
+    ring_.assign(symbols.end() - static_cast<std::ptrdiff_t>(params_.pre_context),
+                 symbols.end());
+  } else {
+    ring_.insert(ring_.end(), symbols.begin() + static_cast<std::ptrdiff_t>(i),
+                 symbols.end());
+    while (ring_.size() > params_.pre_context) ring_.pop_front();
+  }
 }
 
 void CaptureBuffer::trigger(sim::SimTime when) {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,7 +43,13 @@ class CaptureBuffer {
 
   /// Feed every character passing the injector (pre-injection view feeds
   /// `before`; the corrupted character itself starts `after`).
-  void feed(link::Symbol s, sim::SimTime when);
+  void feed(link::Symbol s, sim::SimTime /*when*/) { feed_one(s); }
+
+  /// Feeds a run of characters known to contain no trigger boundary.
+  /// Per-character stepping runs only while an event is still collecting
+  /// post-context; once closed (the common case), only the newest
+  /// pre_context characters touch the ring.
+  void feed_run(std::span<const link::Symbol> symbols);
 
   /// Mark the character fed *next* as an injection event.
   void trigger(sim::SimTime when);
@@ -70,6 +77,8 @@ class CaptureBuffer {
   [[nodiscard]] std::string render() const;
 
  private:
+  void feed_one(link::Symbol s);
+
   Params params_;
   std::deque<link::Symbol> ring_;
   std::vector<Event> events_;

@@ -4,8 +4,8 @@
 
 namespace hsfi::core {
 
-std::vector<link::Symbol> CrcRepatcher::feed(link::Symbol s, bool enabled) {
-  std::vector<link::Symbol> out;
+void CrcRepatcher::feed_into(link::Symbol s, bool enabled,
+                             std::vector<link::Symbol>& out) {
   if (!enabled) {
     // Transparent — but flush any byte held from before the stage was
     // disabled so nothing is swallowed.
@@ -15,7 +15,7 @@ std::vector<link::Symbol> CrcRepatcher::feed(link::Symbol s, bool enabled) {
       body_crc_.reset();
     }
     out.push_back(s);
-    return out;
+    return;
   }
 
   if (!s.control) {
@@ -24,7 +24,7 @@ std::vector<link::Symbol> CrcRepatcher::feed(link::Symbol s, bool enabled) {
       body_crc_.update(*held_);
     }
     held_ = s.data;
-    return out;
+    return;
   }
 
   const auto decoded = myrinet::decode_control(s.data);
@@ -39,6 +39,11 @@ std::vector<link::Symbol> CrcRepatcher::feed(link::Symbol s, bool enabled) {
     body_crc_.reset();
   }
   out.push_back(s);
+}
+
+std::vector<link::Symbol> CrcRepatcher::feed(link::Symbol s, bool enabled) {
+  std::vector<link::Symbol> out;
+  feed_into(s, enabled, out);
   return out;
 }
 

@@ -27,6 +27,16 @@ class CrcRepatcher {
   /// When `enabled` is false the stage is a transparent wire.
   [[nodiscard]] std::vector<link::Symbol> feed(link::Symbol s, bool enabled);
 
+  /// Allocation-free variant: appends the 0..2 emitted characters to `out`.
+  /// The hot path feeds the whole burst through one caller-owned scratch
+  /// buffer instead of materializing a vector per character.
+  void feed_into(link::Symbol s, bool enabled, std::vector<link::Symbol>& out);
+
+  /// True while a data byte is delayed inside the stage. When false and
+  /// repatching is disabled the stage is stateless-transparent, so callers
+  /// may bypass it entirely for a whole burst.
+  [[nodiscard]] bool has_held() const noexcept { return held_.has_value(); }
+
   /// Frames whose CRC byte was rewritten.
   [[nodiscard]] std::uint64_t frames_patched() const noexcept {
     return frames_patched_;

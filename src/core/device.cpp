@@ -32,6 +32,8 @@ struct InjectorDevice::Pipeline final : link::SymbolSink {
   /// Egress staging buffer, reused across bursts/drain ticks so the
   /// steady-state forwarding path allocates nothing per burst.
   std::vector<link::Symbol> scratch;
+  /// clock_burst() output, reused across bursts for the same reason.
+  FifoInjector::BatchResult batch;
 
   Pipeline(FifoInjector::Params fp, CaptureBuffer::Params cp)
       : fifo(fp), capture(cp) {}
@@ -66,9 +68,7 @@ struct InjectorDevice::Pipeline final : link::SymbolSink {
     // transmitting them would consume serialization capacity that the real
     // wire's idles do not (they ARE the idle capacity).
     if (is_idle_character(*r.out)) return;
-    for (const auto s : repatch.feed(*r.out, fifo.config().crc_repatch)) {
-      outs.push_back(s);
-    }
+    repatch.feed_into(*r.out, fifo.config().crc_repatch, outs);
   }
 
   void transmit(const std::vector<link::Symbol>& outs) {
@@ -79,12 +79,46 @@ struct InjectorDevice::Pipeline final : link::SymbolSink {
     cancel_drain();
     scratch.clear();
     scratch.reserve(burst.symbols.size());
-    for (std::size_t i = 0; i < burst.symbols.size(); ++i) {
-      const auto when = burst.arrival(i);
-      capture.feed(burst.symbols[i], when);
-      stats.feed(burst.symbols[i], when);
-      emit(fifo.clock(burst.symbols[i]), when, scratch);
+
+    // Batched path: one clock_burst() call runs the whole odd/even pipeline,
+    // then the taps replay against it. Per-character semantics (pinned by
+    // the clock_burst property test and the golden digests):
+    //   - capture/stats feed the *input* symbol stream, which the injector
+    //     never mutates (corruption happens to the FIFO-resident copies);
+    //   - a trigger at fire index f lands after the capture feed of
+    //     symbol f, with the exact arrival timestamp burst.arrival(f);
+    //   - the egress stream is the popped characters in order, minus the
+    //     IDLE filler, through the CRC repatcher when it is active.
+    fifo.clock_burst(burst.symbols, batch);
+    stats.feed_burst(burst);
+
+    const std::span<const link::Symbol> in(burst.symbols);
+    if (batch.fires.empty()) {
+      capture.feed_run(in);
+    } else {
+      std::size_t prev = 0;
+      for (const std::uint32_t f : batch.fires) {
+        capture.feed_run(in.subspan(prev, f + 1 - prev));
+        const auto when = burst.arrival(f);
+        capture.trigger(when);
+        if (on_injection) on_injection(when);
+        prev = f + 1;
+      }
+      capture.feed_run(in.subspan(prev));
     }
+
+    if (!fifo.config().crc_repatch && !repatch.has_held()) {
+      // Repatch stage is stateless-transparent: strip IDLE filler directly.
+      for (const auto s : batch.out) {
+        if (!is_idle_character(s)) scratch.push_back(s);
+      }
+    } else {
+      for (const auto s : batch.out) {
+        if (is_idle_character(s)) continue;
+        repatch.feed_into(s, fifo.config().crc_repatch, scratch);
+      }
+    }
+
     transmit(scratch);
     schedule_drain();
   }

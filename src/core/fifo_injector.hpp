@@ -15,12 +15,20 @@
 // which the wire carries no character (idle): the free-running FPGA clock
 // keeps popping residual FIFO contents so a packet tail never sticks in the
 // device.
+//
+// clock_burst() runs the same pipeline across a whole burst in one call.
+// When the configuration makes a trigger impossible in the window (not
+// armed, all-don't-care compare, LFSR off) it degenerates to bulk ring
+// copies plus arithmetic on the stats counters; otherwise it runs the
+// per-character loop inlined on the ring. Either way it is step-for-step
+// equivalent to calling clock() per character (pinned by a property test).
 #pragma once
 
-#include <array>
+#include <cassert>
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "core/injector_config.hpp"
 #include "link/symbol.hpp"
@@ -61,6 +69,15 @@ class FifoInjector {
     bool injected = false;
   };
 
+  /// Output of clock_burst(): every character that left the device during
+  /// the burst, in pop order, plus the input indices whose even clock fired
+  /// an injection (so callers can replay capture triggers and monitor hooks
+  /// at the exact per-symbol arrival timestamps).
+  struct BatchResult {
+    std::vector<link::Symbol> out;
+    std::vector<std::uint32_t> fires;
+  };
+
   FifoInjector();
   explicit FifoInjector(Params params);
 
@@ -81,7 +98,12 @@ class FifoInjector {
   /// an idle wire.
   Result clock(std::optional<link::Symbol> in);
 
-  [[nodiscard]] std::size_t occupancy() const noexcept { return fifo_.size(); }
+  /// Runs the odd/even pipeline across every character of `in` (a burst is
+  /// back-to-back wire characters, so no idle pairs occur inside it).
+  /// Clears and refills `result`. Equivalent to clock() per character.
+  void clock_burst(std::span<const link::Symbol> in, BatchResult& result);
+
+  [[nodiscard]] std::size_t occupancy() const noexcept { return count_; }
 
   /// True while the FIFO still holds non-IDLE characters; the device keeps
   /// the drain clock running until this clears.
@@ -103,10 +125,52 @@ class FifoInjector {
   /// fire under the current lfsr_mask.
   [[nodiscard]] bool lfsr_permits() noexcept;
 
+  struct EvenResult {
+    bool matched = false;
+    bool fired = false;
+  };
+  /// Even-clock evaluation for a real character. Call only on compare
+  /// cycles (the stride gate is the caller's job).
+  EvenResult even_clock();
+
+  // --- Fixed-capacity ring (replaces the old std::deque FIFO). ----------
+  // head_ indexes the oldest resident character; logical slot i lives at
+  // ring_[wrap(head_ + i)]. The storage never reallocates after
+  // construction, so occupancy churn is allocation-free, and the plain
+  // vector keeps the injector copyable for snapshot State capture.
+  [[nodiscard]] std::size_t wrap(std::size_t i) const noexcept {
+    return i >= ring_.size() ? i - ring_.size() : i;
+  }
+  [[nodiscard]] link::Symbol& ring_at(std::size_t i) noexcept {
+    return ring_[wrap(head_ + i)];
+  }
+  [[nodiscard]] const link::Symbol& ring_at(std::size_t i) const noexcept {
+    return ring_[wrap(head_ + i)];
+  }
+  void push_ring(link::Symbol s) noexcept {
+    // Unreachable through clock()/clock_burst(): the constructor enforces
+    // fifo_capacity > latency_chars and the pop side keeps occupancy at
+    // latency_chars, so a push never meets a full ring. The assertion
+    // guards the invariant; release builds mirror the hardware (and the
+    // old deque path) by dropping the newcomer.
+    assert(count_ < ring_.size() && "FIFO capacity overflow");
+    if (count_ == ring_.size()) return;
+    ring_[wrap(head_ + count_)] = s;
+    ++count_;
+  }
+  [[nodiscard]] link::Symbol pop_ring() noexcept {
+    link::Symbol s = ring_[head_];
+    head_ = wrap(head_ + 1);
+    --count_;
+    return s;
+  }
+
   Params params_;
   InjectorConfig config_;
   std::uint16_t lfsr_ = 0xACE1;  ///< never zero; taps 16,14,13,11
-  std::deque<link::Symbol> fifo_;
+  std::vector<link::Symbol> ring_;  ///< fixed fifo_capacity slots
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   // Compare registers power up holding IDLE control characters (data 0x00,
   // D/C = control), like a wire that has been idle.
   std::uint32_t window_data_ = 0;

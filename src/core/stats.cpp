@@ -1,5 +1,6 @@
 #include "core/stats.hpp"
 
+#include <bit>
 #include <cstdio>
 
 #include "myrinet/control.hpp"
@@ -25,6 +26,31 @@ void StreamStats::feed(link::Symbol s, sim::SimTime when) {
     }
   }
   deframer_.feed(s, when);
+}
+
+void StreamStats::feed_burst(const link::Burst& burst) {
+  const std::size_t n = burst.symbols.size();
+  if (!burst.has_view()) {
+    for (std::size_t i = 0; i < n; ++i) feed(burst.symbols[i], burst.arrival(i));
+    return;
+  }
+  counters_.characters += n;
+  std::uint64_t ctl_count = 0;
+  for (std::size_t w = 0; w < burst.ctl.size(); ++w) {
+    std::uint64_t word = burst.ctl[w];
+    ctl_count += static_cast<std::uint64_t>(std::popcount(word));
+    while (word != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+      const std::size_t j = (w << 6) + bit;
+      if (myrinet::decode_control(burst.data[j]) ==
+          myrinet::ControlSymbol::kGap) {
+        ++counters_.gaps;
+      }
+    }
+  }
+  counters_.control_symbols += ctl_count;
+  deframer_.feed_burst(burst);
 }
 
 void StreamStats::on_frame(const std::vector<std::uint8_t>& frame) {

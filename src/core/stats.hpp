@@ -43,6 +43,11 @@ class StreamStats {
 
   void feed(link::Symbol s, sim::SimTime when);
 
+  /// Whole-burst feed: counters advance arithmetically (control symbols by
+  /// bitmask popcount, gaps by scanning only the control positions) and the
+  /// deframer consumes data runs in bulk. Equivalent to per-symbol feed().
+  void feed_burst(const link::Burst& burst);
+
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
 
   /// Packets seen per (destination, source) identifier pair.

@@ -49,10 +49,15 @@ std::optional<OrderedSet> parse_ordered_set(
 }
 
 std::vector<link::Symbol> ordered_set_symbols(OrderedSet os) {
-  std::vector<link::Symbol> out;
-  out.reserve(4);
-  for (const auto c : ordered_set_chars(os)) {
-    out.push_back(link::Symbol{c.value, c.is_k});
+  const auto arr = ordered_set_symbol_array(os);
+  return std::vector<link::Symbol>(arr.begin(), arr.end());
+}
+
+std::array<link::Symbol, 4> ordered_set_symbol_array(OrderedSet os) noexcept {
+  const auto chars = ordered_set_chars(os);
+  std::array<link::Symbol, 4> out{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    out[i] = link::Symbol{chars[i].value, chars[i].is_k};
   }
   return out;
 }
@@ -111,6 +116,13 @@ std::optional<FcHeader> parse_header(std::span<const std::uint8_t> b) {
 }
 
 std::vector<link::Symbol> frame_to_symbols(const FcFrame& frame) {
+  std::vector<link::Symbol> out;
+  frame_to_symbols_into(frame, out);
+  return out;
+}
+
+void frame_to_symbols_into(const FcFrame& frame,
+                           std::vector<link::Symbol>& out) {
   std::vector<std::uint8_t> body = encode_header(frame.header);
   body.insert(body.end(), frame.payload.begin(), frame.payload.end());
   const std::uint32_t crc = crc32(body);
@@ -119,12 +131,13 @@ std::vector<link::Symbol> frame_to_symbols(const FcFrame& frame) {
   body.push_back(static_cast<std::uint8_t>(crc >> 8));
   body.push_back(static_cast<std::uint8_t>(crc));
 
-  std::vector<link::Symbol> out = ordered_set_symbols(frame.sof);
+  out.clear();
   out.reserve(4 + body.size() + 4);
+  const auto sof = ordered_set_symbol_array(frame.sof);
+  out.insert(out.end(), sof.begin(), sof.end());
   for (const auto b : body) out.push_back(link::data_symbol(b));
-  const auto eof = ordered_set_symbols(frame.eof);
+  const auto eof = ordered_set_symbol_array(frame.eof);
   out.insert(out.end(), eof.begin(), eof.end());
-  return out;
 }
 
 FcParsed parse_frame_body(std::span<const std::uint8_t> bytes) {

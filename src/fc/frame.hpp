@@ -8,6 +8,7 @@
 // sees).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -37,6 +38,10 @@ enum class OrderedSet : std::uint8_t {
 
 /// Ordered set as link symbols (control flag = K flag).
 [[nodiscard]] std::vector<link::Symbol> ordered_set_symbols(OrderedSet os);
+
+/// Allocation-free variant for hot transmit paths (R_RDY returns, idles).
+[[nodiscard]] std::array<link::Symbol, 4> ordered_set_symbol_array(
+    OrderedSet os) noexcept;
 
 inline constexpr std::size_t kFcHeaderSize = 24;
 inline constexpr std::size_t kFcMaxPayload = 2112;
@@ -75,6 +80,11 @@ struct FcFrame {
 
 /// Serializes SOF + header + payload + CRC-32 + EOF into decoded symbols.
 [[nodiscard]] std::vector<link::Symbol> frame_to_symbols(const FcFrame& frame);
+
+/// Same, but reuses `out`'s storage (cleared first) — the port transmit
+/// path serializes every frame into a pooled buffer instead of allocating.
+void frame_to_symbols_into(const FcFrame& frame,
+                           std::vector<link::Symbol>& out);
 
 enum class FcParseStatus : std::uint8_t {
   kOk,

@@ -20,15 +20,18 @@ bool FcPort::send(FcFrame frame) {
     ++stats_.tx_queue_drops;
     return false;
   }
-  tx_queue_.push_back(frame_to_symbols(frame));
+  std::vector<link::Symbol> symbols = tx_pool_.acquire();
+  frame_to_symbols_into(frame, symbols);
+  tx_queue_.push_back(std::move(symbols));
   schedule_pump_tx();
   return true;
 }
 
 void FcPort::inject_rrdy(std::size_t count) {
   if (tx_ == nullptr) return;
+  const auto rrdy = ordered_set_symbol_array(OrderedSet::kRRdy);
   for (std::size_t i = 0; i < count; ++i) {
-    tx_->transmit(ordered_set_symbols(OrderedSet::kRRdy));
+    tx_->transmit(rrdy);
   }
 }
 
@@ -82,6 +85,7 @@ void FcPort::pump_tx() {
     tx_offset_ += n;
     if (tx_offset_ >= tx_current_.size()) {
       ++stats_.frames_sent;
+      tx_pool_.release(std::move(tx_current_));
       tx_current_.clear();
       tx_offset_ = 0;
     }
@@ -89,8 +93,37 @@ void FcPort::pump_tx() {
 }
 
 void FcPort::on_burst(const link::Burst& burst) {
-  for (std::size_t i = 0; i < burst.symbols.size(); ++i) {
-    feed(burst.symbols[i], burst.arrival(i));
+  if (!burst.has_view()) {
+    for (std::size_t i = 0; i < burst.symbols.size(); ++i) {
+      feed(burst.symbols[i], burst.arrival(i));
+    }
+    return;
+  }
+  // Batched scan over the SoA view: control symbols and partial ordered
+  // sets go through the per-symbol feed (they carry all the protocol state
+  // transitions); pure data runs inside a frame body append in bulk.
+  const std::size_t n = burst.symbols.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (!set_accum_.empty() || burst.symbols[i].control) {
+      feed(burst.symbols[i], burst.arrival(i));
+      ++i;
+      continue;
+    }
+    std::size_t run_end = link::find_next_control(burst, i);
+    if (in_frame_) {
+      // Stop the bulk append where an ordered set could begin; between
+      // control symbols every data character lands in the open body.
+      body_.insert(body_.end(), burst.data.begin() + static_cast<std::ptrdiff_t>(i),
+                   burst.data.begin() + static_cast<std::ptrdiff_t>(run_end));
+      i = run_end;
+    } else {
+      for (std::size_t j = i; j < run_end; ++j) {
+        ++stats_.stray_data;
+        emit_event(Event::kStrayData, burst.arrival(j));
+      }
+      i = run_end;
+    }
   }
 }
 
@@ -226,7 +259,7 @@ void FcPort::schedule_rx_drain() {
     ++stats_.frames_received;
     // Buffer freed: return a credit to the sender.
     if (tx_ != nullptr) {
-      tx_->transmit(ordered_set_symbols(OrderedSet::kRRdy));
+      tx_->transmit(ordered_set_symbol_array(OrderedSet::kRRdy));
       ++stats_.rrdy_sent;
     }
     if (handler_) handler_(std::move(frame), simulator_.now());

@@ -18,6 +18,7 @@
 
 #include "fc/frame.hpp"
 #include "link/channel.hpp"
+#include "link/symbol_pool.hpp"
 #include "sim/simulator.hpp"
 
 namespace hsfi::fc {
@@ -176,7 +177,11 @@ class FcPort final : public link::SymbolSink {
   FrameHandler handler_;
   EventHandler event_;
 
-  // Transmit.
+  // Transmit. Frame serializations go through a buffer pool: a completed
+  // frame's symbol vector is parked and its capacity reused by the next
+  // send() instead of reallocating per frame. Excluded from State capture
+  // (pure capacity cache, no protocol state).
+  link::SymbolBufferPool tx_pool_;
   std::deque<std::vector<link::Symbol>> tx_queue_;
   std::vector<link::Symbol> tx_current_;
   std::size_t tx_offset_ = 0;

@@ -24,14 +24,25 @@ namespace hsfi::link {
 /// at `start + (i + 1) * period`.
 ///
 /// Lifetime: a Burst delivered to SymbolSink::on_burst — including its
-/// `symbols` storage — is owned by the channel and valid only until
-/// on_burst returns; the buffer is then recycled for later bursts. Sinks
-/// that need the data longer must copy it. Under AddressSanitizer the
-/// recycled storage is poisoned, so use past the lifetime faults in CI.
+/// `symbols` storage and the SoA view — is owned by the channel and valid
+/// only until on_burst returns; the buffers are then recycled for later
+/// bursts. Sinks that need the data longer must copy it. Under
+/// AddressSanitizer the recycled `symbols` storage is poisoned, so use past
+/// the lifetime faults in CI.
+///
+/// Structure-of-arrays view: channels deliver bursts with `data` (the data
+/// byte of every symbol, contiguous) and `ctl` (a bitmask, bit (i % 64) of
+/// ctl[i / 64] set when symbols[i] is a control character) filled, so batch
+/// consumers can scan control positions word-at-a-time and bulk-copy data
+/// runs without re-touching Symbol structs. Hand-built bursts (tests, ad
+/// hoc producers) may omit the view — sinks check has_view() and fall back
+/// to the AoS `symbols` path, which stays authoritative either way.
 struct Burst {
   sim::SimTime start = 0;      ///< arrival time of the first symbol's leading edge
   sim::Duration period = 0;    ///< character period
   std::vector<Symbol> symbols;
+  std::vector<std::uint8_t> data;   ///< SoA: data[i] == symbols[i].data
+  std::vector<std::uint64_t> ctl;   ///< SoA: control-flag bitmask words
 
   [[nodiscard]] sim::SimTime end() const noexcept {
     return start + period * static_cast<sim::Duration>(symbols.size());
@@ -40,7 +51,19 @@ struct Burst {
   [[nodiscard]] sim::SimTime arrival(std::size_t i) const noexcept {
     return start + period * static_cast<sim::Duration>(i + 1);
   }
+
+  [[nodiscard]] bool has_view() const noexcept {
+    return data.size() == symbols.size() &&
+           ctl.size() == (symbols.size() + 63) / 64;
+  }
+  /// (Re)derives the SoA view from `symbols` — for hand-built bursts.
+  void build_view();
 };
+
+/// Index of the first control symbol at or after `from`, or symbols.size()
+/// when the rest of the burst is all data. Precondition: burst.has_view().
+[[nodiscard]] std::size_t find_next_control(const Burst& burst,
+                                            std::size_t from) noexcept;
 
 /// Receiver interface for one channel direction.
 class SymbolSink {
@@ -123,6 +146,11 @@ class Channel {
   }
 
  private:
+  /// Fire-time half of transmit(): assembles the Burst (SoA view from the
+  /// channel scratch), invokes the sink, and recycles the buffers.
+  void deliver(SymbolSink* sink, sim::SimTime start,
+               std::vector<Symbol>&& symbols);
+
   sim::Simulator& simulator_;
   std::string name_;
   sim::Duration character_period_;
@@ -133,6 +161,8 @@ class Channel {
   bool connected_ = true;
   SymbolSink* sink_ = nullptr;
   SymbolBufferPool pool_;
+  std::vector<std::uint8_t> view_data_;   ///< SoA scratch, reused per delivery
+  std::vector<std::uint64_t> view_ctl_;   ///< SoA scratch, reused per delivery
 };
 
 /// A full-duplex cable: two channels with shared parameters. End A transmits
@@ -146,6 +176,8 @@ class DuplexLink {
 
   [[nodiscard]] Channel& a_to_b() noexcept { return a_to_b_; }
   [[nodiscard]] Channel& b_to_a() noexcept { return b_to_a_; }
+  [[nodiscard]] const Channel& a_to_b() const noexcept { return a_to_b_; }
+  [[nodiscard]] const Channel& b_to_a() const noexcept { return b_to_a_; }
 
  private:
   Channel a_to_b_;

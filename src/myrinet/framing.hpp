@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "link/channel.hpp"
 #include "link/symbol.hpp"
 #include "myrinet/control.hpp"
 #include "sim/time.hpp"
@@ -35,6 +36,12 @@ class Deframer {
 
   /// Feeds one received symbol with its arrival time.
   void feed(link::Symbol symbol, sim::SimTime when);
+
+  /// Feeds a whole burst. With the SoA view present, data runs between
+  /// control symbols are appended to the open frame with one bulk insert
+  /// per run; control symbols go through feed() with their exact arrival
+  /// times. Equivalent to feeding every symbol individually.
+  void feed_burst(const link::Burst& burst);
 
   /// Bytes accumulated in the (unterminated) current frame.
   [[nodiscard]] std::size_t open_frame_size() const noexcept {

@@ -88,9 +88,7 @@ void HostInterface::pump_tx() {
 }
 
 void HostInterface::on_burst(const link::Burst& burst) {
-  for (std::size_t i = 0; i < burst.symbols.size(); ++i) {
-    deframer_.feed(burst.symbols[i], burst.arrival(i));
-  }
+  deframer_.feed_burst(burst);
 }
 
 void HostInterface::handle_frame(std::vector<std::uint8_t> frame,

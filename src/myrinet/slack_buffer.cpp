@@ -26,6 +26,21 @@ bool SlackBuffer::push(link::Symbol symbol) {
   return true;
 }
 
+std::size_t SlackBuffer::push_run(std::span<const link::Symbol> symbols) {
+  const std::size_t free =
+      config_.capacity > queue_.size() ? config_.capacity - queue_.size() : 0;
+  const std::size_t accepted = symbols.size() < free ? symbols.size() : free;
+  if (accepted == 0) return 0;
+  queue_.insert(queue_.end(), symbols.begin(),
+                symbols.begin() + static_cast<std::ptrdiff_t>(accepted));
+  // One watermark evaluation for the whole run is emission-equivalent to
+  // per-push evaluation: stopping_ latches, so a high-watermark crossing
+  // inside the run produces the same single STOP at the same simulated
+  // time either way.
+  after_occupancy_change();
+  return accepted;
+}
+
 std::optional<link::Symbol> SlackBuffer::pop() {
   if (queue_.empty()) return std::nullopt;
   link::Symbol s = queue_.front();

@@ -13,6 +13,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <span>
 
 #include "link/symbol.hpp"
 #include "myrinet/control.hpp"
@@ -48,6 +49,17 @@ class SlackBuffer {
 
   /// Appends a symbol. Returns false (and counts a drop) on overflow.
   bool push(link::Symbol symbol);
+
+  /// Bulk append: inserts as many leading symbols as capacity allows with a
+  /// single occupancy-change evaluation, and returns how many were taken.
+  /// The caller pushes the rejected tail through push() so overflow drops
+  /// keep their per-symbol accounting. Only valid without a probe attached
+  /// (the probe samples every individual occupancy change).
+  std::size_t push_run(std::span<const link::Symbol> symbols);
+
+  [[nodiscard]] bool has_probe() const noexcept {
+    return static_cast<bool>(probe_);
+  }
 
   /// Removes the oldest symbol, or nullopt when empty.
   std::optional<link::Symbol> pop();

@@ -60,6 +60,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
   const std::uint64_t seed =
       spec.seed != 0 ? spec.seed : fabric_.base_seed();
   const std::uint64_t events_begin = fabric_.sim().executed_events();
+  const std::uint64_t symbols_begin = fabric_.symbols_sent();
   fabric_.reset_to_known_good(seed);
   sim::Duration elapsed = elapsed_before;
 
@@ -130,6 +131,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec,
       after.sequences_aborted - before.sequences_aborted;
   r.scenario_steps_fired = after.scenario_steps - before.scenario_steps;
   r.events_executed = fabric_.sim().executed_events() - events_begin;
+  r.symbols_sent = fabric_.symbols_sent() - symbols_begin;
 
   const auto outcome =
       analyzer.finalize(window_begin, window_end, r.injections);

@@ -165,6 +165,12 @@ struct CampaignResult {
   /// Deterministic in simulated time; the bench harness divides it by wall
   /// time for events/sec.
   std::uint64_t events_executed = 0;
+  /// Link symbols transmitted over the whole run, every segment and both
+  /// directions. Invariant under batching (the same traffic flows whether
+  /// symbols are scheduled one event each or one event per burst), so it
+  /// pairs with events_executed to show what a kernel-events drop means.
+  /// Bench-output-only: not part of the campaign JSONL record.
+  std::uint64_t symbols_sent = 0;
 
   /// How each firing manifested (classes sum to `injections` exactly).
   analysis::ManifestationBreakdown manifestations;

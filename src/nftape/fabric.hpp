@@ -141,6 +141,12 @@ class Fabric {
   virtual void disarm_scenario() {}
 
   [[nodiscard]] virtual FabricCounters snapshot() const = 0;
+  /// Total symbols transmitted across every link segment since
+  /// construction (monotonic; callers diff two readings for a window).
+  /// Base implementation reports 0 for fabrics without symbol channels.
+  [[nodiscard]] virtual std::uint64_t symbols_sent() const noexcept {
+    return 0;
+  }
   /// How long after disarming the medium needs to re-reach the known good
   /// state (Myrinet: one mapping round; FC: in-flight drain).
   [[nodiscard]] virtual sim::Duration recovery_time() const = 0;
@@ -196,6 +202,9 @@ class MyrinetFabric final : public Fabric {
                     analysis::ManifestationAnalyzer& analyzer) override;
   void disarm_scenario() override;
   [[nodiscard]] FabricCounters snapshot() const override;
+  [[nodiscard]] std::uint64_t symbols_sent() const noexcept override {
+    return bed_.symbols_sent();
+  }
   [[nodiscard]] sim::Duration recovery_time() const override;
   [[nodiscard]] std::unique_ptr<FabricSnapshot> capture_snapshot() override;
   void restore_snapshot(const FabricSnapshot& snap) override;

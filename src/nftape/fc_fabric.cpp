@@ -409,6 +409,19 @@ FabricCounters FcFabric::snapshot() const {
   return s;
 }
 
+std::uint64_t FcFabric::symbols_sent() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    total += node->cable->a_to_b().symbols_sent();
+    total += node->cable->b_to_a().symbols_sent();
+    if (node->cable2) {
+      total += node->cable2->a_to_b().symbols_sent();
+      total += node->cable2->b_to_a().symbols_sent();
+    }
+  }
+  return total;
+}
+
 sim::Duration FcFabric::recovery_time() const {
   // No mapping protocol to rerun: in-flight frames drain and BB credits
   // return within a handful of frame times at 1.0625 Gb/s.

@@ -72,6 +72,7 @@ class FcFabric final : public Fabric {
                     analysis::ManifestationAnalyzer& analyzer) override;
   void disarm_scenario() override;
   [[nodiscard]] FabricCounters snapshot() const override;
+  [[nodiscard]] std::uint64_t symbols_sent() const noexcept override;
   [[nodiscard]] sim::Duration recovery_time() const override;
   [[nodiscard]] std::unique_ptr<FabricSnapshot> capture_snapshot() override;
   void restore_snapshot(const FabricSnapshot& snap) override;

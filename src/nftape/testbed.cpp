@@ -83,6 +83,19 @@ void Testbed::settle(sim::Duration span) {
   sim_.run_until(sim_.now() + span);
 }
 
+std::uint64_t Testbed::symbols_sent() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    total += node->cable->a_to_b().symbols_sent();
+    total += node->cable->b_to_a().symbols_sent();
+    if (node->cable2) {
+      total += node->cable2->a_to_b().symbols_sent();
+      total += node->cable2->b_to_a().symbols_sent();
+    }
+  }
+  return total;
+}
+
 void Testbed::set_trace(sim::TraceLog* trace) {
   switch_.set_trace(trace);
   for (auto& node : nodes_) node->host->mcp().set_trace(trace);

@@ -123,6 +123,12 @@ class Testbed {
   [[nodiscard]] core::SerialControlHost& control() { return *control_; }
   [[nodiscard]] const TestbedConfig& config() const noexcept { return config_; }
 
+  /// Total symbols transmitted across every link segment, both directions —
+  /// the datapath-work measure the bench harness reports next to kernel
+  /// events (an events/s gain with flat symbols/s is scheduling overhead
+  /// removed; both rising together is more traffic simulated).
+  [[nodiscard]] std::uint64_t symbols_sent() const noexcept;
+
   /// Attaches an event trace to the switch, every MCP, and the injector.
   void set_trace(sim::TraceLog* trace);
 

@@ -5,20 +5,34 @@ namespace hsfi::phy {
 FcWireStream FcSerdes::encode(std::span<const link::Symbol> symbols,
                               fc::Disparity start) {
   FcWireStream wire;
-  wire.initial_rd = start;
-  wire.groups.reserve(symbols.size());
+  encode_into(symbols, wire, start);
+  return wire;
+}
+
+void FcSerdes::encode_into(std::span<const link::Symbol> symbols,
+                           FcWireStream& out, fc::Disparity start) {
+  out.initial_rd = start;
+  out.groups.clear();
+  out.groups.reserve(symbols.size());
   fc::Disparity rd = start;
   for (const auto s : symbols) {
     const auto enc = fc::encode_8b10b(fc::Char8{s.data, s.control}, rd);
     if (!enc) continue;  // unencodable K character: dropped by the PHY
-    wire.groups.push_back(enc->code);
+    out.groups.push_back(enc->code);
     rd = enc->rd;
   }
-  return wire;
 }
 
 FcDecodedStream FcSerdes::decode(const FcWireStream& wire) {
   FcDecodedStream out;
+  decode_into(wire, out);
+  return out;
+}
+
+void FcSerdes::decode_into(const FcWireStream& wire, FcDecodedStream& out) {
+  out.symbols.clear();
+  out.code_violations = 0;
+  out.disparity_errors = 0;
   out.symbols.reserve(wire.groups.size());
   fc::Disparity rd = wire.initial_rd;
   for (const auto g : wire.groups) {
@@ -32,7 +46,6 @@ FcDecodedStream FcSerdes::decode(const FcWireStream& wire) {
     out.symbols.push_back(
         link::Symbol{dec.character.value, dec.character.is_k});
   }
-  return out;
 }
 
 void flip_wire_bit(FcWireStream& wire, std::size_t index, unsigned bit) {

@@ -52,6 +52,17 @@ class FcSerdes {
   /// Deserializes a wire stream; corrupted groups are dropped from the
   /// symbol output and counted.
   [[nodiscard]] static FcDecodedStream decode(const FcWireStream& wire);
+
+  /// Reusable-buffer variant: clears `out` and serializes into it, keeping
+  /// its group storage across calls. Burst-rate encode paths call this with
+  /// a scratch stream instead of allocating per burst.
+  static void encode_into(std::span<const link::Symbol> symbols,
+                          FcWireStream& out,
+                          fc::Disparity start = fc::Disparity::kMinus);
+
+  /// Reusable-buffer variant of decode: clears `out` (symbols and error
+  /// counters) and deserializes into it.
+  static void decode_into(const FcWireStream& wire, FcDecodedStream& out);
 };
 
 /// Flips bit `bit` (0..9) of group `index` on the wire — a single-bit
